@@ -1,0 +1,50 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one artifact of DESIGN.md's experiment
+index: the paper's figures/examples (F1-F9, T1, L1-L3) are checked for
+the *qualitative* outcome the paper states while their decision
+procedures are timed; the quantitative extensions (X1-X6) print the
+rows recorded in EXPERIMENTS.md.
+
+Tables are printed to stdout (visible with ``pytest -s``) and appended
+to ``benchmarks/results/<test>.txt`` so a plain
+``pytest benchmarks/ --benchmark-only`` run leaves the regenerated
+tables on disk.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis.report import format_table
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture
+def report(request):
+    """Print a labelled table and persist it under benchmarks/results/.
+
+    The first table a test reports truncates its results file, so
+    repeated benchmark runs do not accumulate duplicates; further
+    tables from the same test append.
+    """
+    state = {"first": True}
+
+    def _report(rows, columns=None, title=None):
+        text = format_table(rows, columns=columns, title=title)
+        print()
+        print(text)
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        filename = request.node.name.replace("/", "_") + ".txt"
+        mode = "w" if state["first"] else "a"
+        state["first"] = False
+        with open(
+            os.path.join(RESULTS_DIR, filename), mode, encoding="utf-8"
+        ) as handle:
+            handle.write(text)
+            handle.write("\n\n")
+
+    return _report

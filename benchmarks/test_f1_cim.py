@@ -1,0 +1,95 @@
+"""F1 — Figure 1 / §2: the CIM scenario.
+
+Regenerates the paper's motivating claims:
+
+* the interleaving of Figure 1 with production racing ahead of the
+  construction commit is classified *incorrect* (not PRED);
+* the PRED scheduler produces the corrected execution: the production
+  pivot waits for the construction commit, and a failed test cascades
+  into the production process instead of leaving produced parts behind.
+"""
+
+import pytest
+
+from repro.core.pred import check_pred
+from repro.core.schedule import ProcessSchedule
+from repro.scenarios.cim import build_cim_scenario, run_cim
+
+
+def figure1_incorrect_schedule():
+    """The raw Figure-1 interleaving: production produces while the
+    construction process is still active before its test."""
+    scenario = build_cim_scenario()
+    schedule = ProcessSchedule(
+        [scenario.construction, scenario.production], scenario.conflicts
+    )
+    schedule.record("Construction", "design")
+    schedule.record("Construction", "approve")
+    schedule.record("Construction", "pdm_entry")
+    schedule.record("Production", "read_bom")
+    schedule.record("Production", "order")
+    schedule.record("Production", "schedule")
+    schedule.record("Production", "produce")  # before the test!
+    return schedule
+
+
+def test_f1_figure1_interleaving_is_incorrect(benchmark, report):
+    schedule = figure1_incorrect_schedule()
+    result = benchmark(check_pred, schedule)
+    assert not result.is_pred
+    report(
+        [
+            {
+                "execution": "Figure 1 (produce before test)",
+                "pred": result.is_pred,
+                "violating_prefix": result.violating_prefix_length,
+            }
+        ],
+        title="F1a — the paper's Figure-1 interleaving, classified",
+    )
+
+
+def test_f1_pred_scheduler_corrects_the_execution(benchmark, report):
+    def run():
+        return run_cim(fail_test=False, paranoid=False)
+
+    scenario, scheduler = benchmark(run)
+    history = scheduler.history()
+    events = [str(event) for event in history.events]
+    commit = events.index("C(Construction)")
+    produce = events.index("Production.produce")
+    assert commit < produce
+    report(
+        [
+            {
+                "execution": "PRED scheduler",
+                "C(Construction) position": commit,
+                "produce position": produce,
+                "parts produced": scenario.registry.get("floor")
+                .store.get("produced"),
+            }
+        ],
+        title="F1b — corrected execution: production deferred (§3.5)",
+    )
+
+
+def test_f1_failed_test_produces_nothing(benchmark, report):
+    def run():
+        return run_cim(fail_test=True, paranoid=False)
+
+    scenario, scheduler = benchmark(run)
+    produced = scenario.registry.get("floor").store.get("produced")
+    assert produced == 0
+    report(
+        [
+            {
+                "execution": "PRED scheduler, test fails",
+                "parts produced": produced,
+                "bom": str(scenario.registry.get("pdm").store.get("bom")),
+                "cascading aborts": scheduler.stats["cascading_aborts"],
+                "construction": scheduler.statuses()["Construction"].value,
+                "production": scheduler.statuses()["Production"].value,
+            }
+        ],
+        title="F1c — failed test: BOM invalidated, production cascaded (§2.2)",
+    )

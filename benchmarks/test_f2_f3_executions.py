@@ -1,0 +1,55 @@
+"""F2/F3 — Figures 2-3 / Examples 1-2: P1's structure and executions."""
+
+import pytest
+
+from repro.core.flex import enumerate_executions, state_determining_activity
+from repro.core.instance import ProcessInstance
+from repro.scenarios.paper import process_p1
+
+
+def test_f2_valid_executions_of_p1(benchmark, report):
+    """Example 1: exactly four valid executions."""
+    p1 = process_p1()
+    paths = benchmark(enumerate_executions, p1)
+    assert len(paths) == 4
+    report(
+        [
+            {
+                "execution": " ".join(path.effects) or "(empty)",
+                "outcome": path.outcome.value,
+            }
+            for path in paths
+        ],
+        title="F2/F3 — the four valid executions of P1 (Figure 3)",
+    )
+
+
+def test_f3_state_and_completions(benchmark, report):
+    """Example 2: recovery state and completion evolution."""
+    p1 = process_p1()
+
+    def evaluate():
+        rows = []
+        instance = ProcessInstance(p1)
+        rows.append(_row(instance, "(nothing executed)"))
+        for name in ("a11", "a12", "a13", "a14"):
+            instance.next_action()
+            instance.on_committed(name)
+            rows.append(_row(instance, f"after {name}"))
+        return rows
+
+    rows = benchmark(evaluate)
+    assert rows[1]["completion"] == "a11^-1"
+    assert rows[3]["completion"] == "a13^-1 ≪ a15 ≪ a16"
+    report(rows, title="Example 2 — state and completion C(P1)")
+
+
+def _row(instance, label):
+    completion = instance.completion()
+    parts = [f"{name}^-1" for name in completion.compensations]
+    parts.extend(completion.forward)
+    return {
+        "point": label,
+        "state": instance.recovery_state().name,
+        "completion": " ≪ ".join(parts) or "(empty)",
+    }

@@ -1,0 +1,76 @@
+"""F5/F6 — Figures 5-6 / Examples 5-6: completion and reduction."""
+
+import pytest
+
+from repro.core.completion import complete_schedule
+from repro.core.reduction import reduce_schedule
+from repro.scenarios.paper import schedule_fig4a
+
+
+def test_f5_completed_schedule_construction(benchmark, report):
+    """Example 5: building S̃_t2 with the group abort A(P1, P2)."""
+    schedule = schedule_fig4a().at_t2()
+    completed = benchmark(complete_schedule, schedule)
+    added = [str(event) for _, event in completed.completion_events()]
+    assert added == ["P1.a13^-1", "P1.a15", "P1.a16", "P2.a25"]
+    report(
+        [
+            {
+                "schedule": "S̃_t2",
+                "events": len(completed),
+                "added by completion": " ".join(added),
+                "serializable": completed.is_serializable(),
+            }
+        ],
+        title="F5 — Example 5: the completed process schedule",
+    )
+
+
+def test_f6_reduction_of_completed_schedule(benchmark, report):
+    """Example 6: the compensation rule removes (a13, a13^-1); RED."""
+    schedule = schedule_fig4a().at_t2()
+    result = benchmark(reduce_schedule, schedule)
+    assert result.is_reducible
+    assert [str(pair) for pair in result.cancelled_pairs] == ["P1.a13"]
+    report(
+        [
+            {
+                "schedule": "S_t2",
+                "cancelled pairs": ", ".join(
+                    str(pair) for pair in result.cancelled_pairs
+                ),
+                "residual events": len(result.residual),
+                "RED": result.is_reducible,
+                "serial order": " ≪ ".join(result.serial_order),
+            }
+        ],
+        title="F6 — Example 6: reduction of S̃_t2 (Figure 6b)",
+    )
+
+
+def test_f5_backward_and_forward_paths(benchmark, report):
+    """Figure 5: a completion mixes backward and forward recovery."""
+    marked = schedule_fig4a()
+
+    def complete_t1():
+        return complete_schedule(marked.at_t1())
+
+    completed = benchmark(complete_t1)
+    added = [str(event) for _, event in completed.completion_events()]
+    assert "P1.a11^-1" in added           # backward recovery path of P1
+    assert "P2.a24" in added              # forward recovery path of P2
+    report(
+        [
+            {
+                "process": "P1",
+                "state at t1": "B-REC",
+                "recovery path": "a11^-1",
+            },
+            {
+                "process": "P2",
+                "state at t1": "F-REC",
+                "recovery path": "a24 ≪ a25",
+            },
+        ],
+        title="F5 — backward vs forward recovery paths (Figure 5)",
+    )

@@ -1,0 +1,65 @@
+"""F7/F8 — Figures 7-8 / Examples 7-9: prefix-reducibility."""
+
+import pytest
+
+from repro.core.pred import check_pred
+from repro.core.reduction import is_reducible
+from repro.scenarios.paper import schedule_fig4a, schedule_fig7
+
+
+def test_f7_pred_execution(benchmark, report):
+    """Examples 7+9: S'' and every prefix of it are reducible."""
+    schedule = schedule_fig7().schedule
+    result = benchmark(check_pred, schedule)
+    assert result.is_pred
+    report(
+        [
+            {
+                "schedule": "S'' (Figure 7)",
+                "prefixes checked": result.prefixes_checked,
+                "PRED": result.is_pred,
+            }
+        ],
+        title="F7 — Examples 7/9: S'' is prefix-reducible",
+    )
+
+
+def test_f8_red_not_prefix_closed(benchmark, report):
+    """Example 8: S_t2 reduces, but its prefix S_t1 does not — RED is
+    not prefix closed, hence PRED."""
+    marked = schedule_fig4a()
+
+    def classify():
+        return (
+            is_reducible(marked.at_t2()),
+            is_reducible(marked.at_t1()),
+            check_pred(marked.at_t2()),
+        )
+
+    red_t2, red_t1, pred = benchmark(classify)
+    assert red_t2 and not red_t1 and not pred.is_pred
+    report(
+        [
+            {"object": "S_t2", "RED": red_t2, "PRED": pred.is_pred},
+            {"object": "prefix S_t1", "RED": red_t1, "PRED": None},
+        ],
+        title="F8 — Example 8: RED is not prefix closed",
+    )
+
+
+def test_f8_violation_witness(benchmark, report):
+    """The irreducible cycle of Figure 8: a11 ≪ a21 ≪ a11^-1."""
+    marked = schedule_fig4a()
+    result = benchmark(check_pred, marked.schedule)
+    violation = result.violation
+    assert violation is not None
+    report(
+        [
+            {
+                "violating prefix length": result.violating_prefix_length,
+                "witness cycle": " → ".join(violation.witness_cycle),
+                "residual": " ".join(str(e) for e in violation.residual),
+            }
+        ],
+        title="F8 — the Figure-8 conflict cycle, witnessed",
+    )

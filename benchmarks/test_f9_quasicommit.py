@@ -1,0 +1,44 @@
+"""F9 — Figure 9 / Example 10: the quasi-commit of pivots."""
+
+import pytest
+
+from repro.core.pred import check_pred
+from repro.scenarios.paper import (
+    schedule_fig9,
+    schedule_fig9_incorrect,
+)
+
+
+def test_f9_quasi_commit_interleaving_correct(benchmark, report):
+    """a31 conflicts with a11, but after P1's pivot the compensation of
+    a11 is no longer available — the interleaving is correct."""
+    schedule = schedule_fig9().schedule
+    result = benchmark(check_pred, schedule)
+    assert result.is_pred
+    report(
+        [
+            {
+                "schedule": "S* (a31 after P1's pivot)",
+                "PRED": result.is_pred,
+            }
+        ],
+        title="F9a — Example 10: quasi-commit makes the conflict safe",
+    )
+
+
+def test_f9_without_quasi_commit_incorrect(benchmark, report):
+    """The same conflict with P3 racing ahead of P1's pivot breaks PRED."""
+    schedule = schedule_fig9_incorrect().schedule
+    result = benchmark(check_pred, schedule)
+    assert not result.is_pred
+    report(
+        [
+            {
+                "schedule": "S* inverted (P3's pivot before P1's)",
+                "PRED": result.is_pred,
+                "violating prefix": result.violating_prefix_length,
+                "cycle": " → ".join(result.violation.witness_cycle),
+            }
+        ],
+        title="F9b — the same conflict without the quasi-commit",
+    )

@@ -1,0 +1,85 @@
+"""L1-L3 — Lemmas 1-3 as measurable scheduler behavior."""
+
+import pytest
+
+from repro.core.pred import is_prefix_reducible
+from repro.core.scheduler import SchedulerRules, TransactionalProcessScheduler
+from repro.scenarios.paper import paper_conflicts, process_p1, process_p2
+from repro.subsystems.failures import FailurePlan
+
+
+def run_pair(failures=None):
+    scheduler = TransactionalProcessScheduler(conflicts=paper_conflicts())
+    scheduler.submit(process_p1(), failures=failures)
+    scheduler.submit(process_p2())
+    history = scheduler.run()
+    return scheduler, history
+
+
+def test_l1_deferred_commit_via_2pc(benchmark, report):
+    """Lemma 1: non-compensatables of P2 wait for C_1; commits group
+    atomically through 2PC."""
+    scheduler, history = benchmark(run_pair)
+    events = [str(event) for event in history.events]
+    assert events.index("C(P1)") < events.index("P2.a24")
+    report(
+        [
+            {
+                "C(P1) position": events.index("C(P1)"),
+                "P2.a24 position": events.index("P2.a24"),
+                "2pc groups": scheduler.stats["2pc_groups"],
+                "deferrals": scheduler.stats["deferred"],
+            }
+        ],
+        title="L1 — Lemma 1: deferred commits behind the conflict order",
+    )
+
+
+def test_l2_reverse_compensation_order(benchmark, report):
+    """Lemma 2: compensations run in reverse order of their activities."""
+
+    def run_with_abort():
+        scheduler = TransactionalProcessScheduler(conflicts=paper_conflicts())
+        scheduler.submit(process_p1())
+        scheduler.submit(process_p2())
+        scheduler.step_round()  # a11 then a21 executed (conflicting)
+        scheduler.abort("P1", "L2 bench")
+        return scheduler, scheduler.run()
+
+    scheduler, history = benchmark(run_with_abort)
+    events = [str(event) for event in history.events]
+    forward_order = events.index("P1.a11") < events.index("P2.a21")
+    reverse_order = events.index("P2.a21^-1") < events.index("P1.a11^-1")
+    assert forward_order and reverse_order
+    assert is_prefix_reducible(history)
+    report(
+        [
+            {
+                "forward order": "a11 ≪ a21",
+                "compensation order": "a21^-1 ≪ a11^-1",
+                "cascading aborts": scheduler.stats["cascading_aborts"],
+                "history PRED": True,
+            }
+        ],
+        title="L2 — Lemma 2: reverse compensation order via cascades",
+    )
+
+
+def test_l3_compensations_before_retriables(benchmark, report):
+    """Lemma 3: during completion, compensations precede conflicting
+    retriable forward-recovery activities."""
+    scheduler, history = benchmark(
+        run_pair, FailurePlan.fail_once(["s14"])
+    )
+    events = [str(event) for event in history.events]
+    assert events.index("P1.a13^-1") < events.index("P1.a15")
+    report(
+        [
+            {
+                "compensation": "a13^-1 at " + str(events.index("P1.a13^-1")),
+                "retriable": "a15 at " + str(events.index("P1.a15")),
+                "PRED": is_prefix_reducible(history),
+            }
+        ],
+        title="L3 — Lemma 3: compensation precedes conflicting retriable",
+    )

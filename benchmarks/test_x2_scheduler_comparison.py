@@ -1,0 +1,90 @@
+"""X2 — scheduler disciplines compared under conflicts and failures.
+
+For each conflict rate, one workload runs under five disciplines:
+serial, conflict-locking (CC-only), flat-ACID with restarts, optimistic
+with commit-time validation, and the paper's PRED scheduler.  The
+offline checkers grade every produced history.
+
+Expected shape (the reproduction target):
+
+* serial, flat and PRED are serializable without failures; locking
+  holds too unless a deadlock among forward-recoverable victims forces
+  it outside the lock discipline, and optimistic loses serializability
+  once validation failures hit F-REC processes;
+* under failures, locking/flat/optimistic histories stop being PRED
+  (or stop being legal executions at all), while the PRED scheduler
+  stays fully correct;
+* the PRED scheduler pays for correctness with deferrals and aborts
+  that grow with the conflict rate — the serial baseline is the
+  throughput floor, CC-only the ceiling.
+"""
+
+import pytest
+
+from repro.sim.experiments import sweep as library_sweep
+
+
+def sweep(conflict_rates, failure_rate, seed=7, processes=5):
+    return library_sweep(
+        conflict_rates=conflict_rates,
+        failure_rates=[failure_rate],
+        disciplines=["serial", "locking", "flat", "optimistic", "pred"],
+        processes=processes,
+        seed=seed,
+    )
+
+
+def test_x2_failure_free_sweep(benchmark, report):
+    rows = benchmark.pedantic(
+        sweep, args=([0.0, 0.1, 0.3], 0.0), rounds=1, iterations=1
+    )
+    # pessimistic disciplines stay serializable even without failures;
+    # the optimistic baseline may already violate (failed validation of
+    # an F-REC process forces its commit through).
+    pessimistic = ("serial", "locking", "flat", "pred")
+    assert all(
+        row["serializable"] for row in rows if row["scheduler"] in pessimistic
+    )
+    # the PRED scheduler certifies PRED on its own histories
+    assert all(row["pred"] for row in rows if row["scheduler"] == "pred")
+    report(
+        rows,
+        columns=[
+            "scheduler",
+            "conflict_rate",
+            "makespan",
+            "committed",
+            "aborted",
+            "serializable",
+            "pred",
+        ],
+        title="X2a — failure-free: throughput vs conflict rate",
+    )
+
+
+def test_x2_sweep_with_failures(benchmark, report):
+    rows = benchmark.pedantic(
+        sweep, args=([0.0, 0.1], 0.12), rounds=1, iterations=1
+    )
+    pred_rows = [row for row in rows if row["scheduler"] == "pred"]
+    assert all(row["pred"] for row in pred_rows)
+    # at least one baseline loses a correctness grade under failures
+    baseline_rows = [row for row in rows if row["scheduler"] != "serial"
+                     and row["scheduler"] != "pred"]
+    assert any(not row["pred"] or not row["legal"] for row in baseline_rows)
+    report(
+        rows,
+        columns=[
+            "scheduler",
+            "conflict_rate",
+            "failure_rate",
+            "makespan",
+            "committed",
+            "aborted",
+            "restarts",
+            "legal",
+            "serializable",
+            "pred",
+        ],
+        title="X2b — with failures: correctness separates the disciplines",
+    )

@@ -1,0 +1,86 @@
+"""X7 — scalability: scheduling overhead and makespan vs fleet size.
+
+How does the constructive PRED scheduler behave as the number of
+concurrent processes grows, at a fixed moderate conflict rate?  The
+table reports virtual makespan (parallelism achieved), wall-clock
+scheduling time, and per-activity admission overhead.  Expected shape:
+makespan grows sublinearly while wall-clock admission cost grows with
+the square of the history (conflict scans), remaining milliseconds-per-
+activity at this scale.
+"""
+
+import time
+
+import pytest
+
+from repro.core.scheduler import TransactionalProcessScheduler
+from repro.sim.runner import simulate_run
+from repro.sim.workload import WorkloadSpec, generate_workload
+
+
+def run_fleet(processes, arrivals_spacing=0.0):
+    spec = WorkloadSpec(
+        processes=processes,
+        conflict_rate=0.05,
+        failure_rate=0.0,
+        seed=21,
+    )
+    workload = generate_workload(spec)
+    scheduler = TransactionalProcessScheduler(conflicts=workload.conflicts)
+    arrivals = {}
+    for index, process in enumerate(workload.processes):
+        pid = scheduler.submit(process)
+        if arrivals_spacing:
+            arrivals[pid] = index * arrivals_spacing
+    start = time.perf_counter()
+    metrics = simulate_run(
+        scheduler, durations=workload.duration, arrivals=arrivals
+    )
+    elapsed = time.perf_counter() - start
+    return scheduler, metrics, elapsed
+
+
+def test_x7_fleet_size_sweep(benchmark, report):
+    rows = []
+    for processes in (2, 4, 8, 12):
+        scheduler, metrics, elapsed = run_fleet(processes)
+        dispatched = max(scheduler.stats["dispatched"], 1)
+        rows.append(
+            {
+                "processes": processes,
+                "activities": dispatched,
+                "makespan": round(metrics.makespan, 1),
+                "committed": metrics.processes_committed,
+                "wall [ms]": round(elapsed * 1000.0, 1),
+                "per activity [ms]": round(elapsed * 1000.0 / dispatched, 2),
+            }
+        )
+    # makespan grows sublinearly in fleet size (parallelism works)
+    assert rows[-1]["makespan"] < rows[0]["makespan"] * (
+        rows[-1]["processes"] / rows[0]["processes"]
+    )
+    benchmark.pedantic(run_fleet, args=(8,), rounds=3, iterations=1)
+    report(rows, title="X7 — fleet-size sweep at conflict rate 0.05")
+
+
+def test_x7_staged_arrivals(benchmark, report):
+    """Open-system flavor: processes arrive spaced in virtual time."""
+    scheduler, batch, _ = run_fleet(8)
+    scheduler2, staged, _ = run_fleet(8, arrivals_spacing=2.0)
+    assert staged.makespan >= batch.makespan  # arrivals only delay work
+    report(
+        [
+            {
+                "submission": "all at t=0",
+                "makespan": round(batch.makespan, 1),
+                "committed": batch.processes_committed,
+            },
+            {
+                "submission": "staggered every 2.0",
+                "makespan": round(staged.makespan, 1),
+                "committed": staged.processes_committed,
+            },
+        ],
+        title="X7 — batch vs staggered arrivals (8 processes)",
+    )
+    benchmark.pedantic(run_fleet, args=(8, 2.0), rounds=3, iterations=1)

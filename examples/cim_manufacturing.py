@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""The paper's §2 CIM scenario: construction ∥ production (Figure 1).
+
+Demonstrates the motivation example end to end, on real subsystem
+state:
+
+* the **construction** process designs a part, enters its bill of
+  materials (BOM) into the PDM system, tests it and documents it;
+* the **production** process reads the BOM, orders material, schedules
+  and produces — once parts are physically made there is no inverse.
+
+The PRED scheduler enforces exactly what §3.5 concludes for Figure 1:
+the production pivot is *deferred until the construction process
+commits*.  When the test fails, the construction process compensates
+the PDM entry (partial backward recovery, §2.1) and the production
+process — whose BOM is now invalid — is aborted by a **cascading
+abort**, with all compensations in reverse order (Lemma 2).  Crucially,
+no parts were produced.
+
+Run with::
+
+    python examples/cim_manufacturing.py
+"""
+
+from repro.analysis import render_schedule
+from repro.scenarios.cim import run_cim
+
+
+def show_state(scenario) -> None:
+    registry = scenario.registry
+    print(f"  CAD drawings:      {registry.get('cad').store.get('drawings')}")
+    print(f"  PDM BOM:           {registry.get('pdm').store.get('bom')}")
+    print(f"  tests run:         {registry.get('testdb').store.get('tests_run')}")
+    print(f"  documents:         {registry.get('docs').store.get('documents')}")
+    print(f"  material orders:   {registry.get('erp').store.get('orders')}")
+    print(f"  parts produced:    {registry.get('floor').store.get('produced')}")
+
+
+def main() -> None:
+    print("=" * 70)
+    print("Run 1 — the test succeeds")
+    print("=" * 70)
+    scenario, scheduler = run_cim(fail_test=False)
+    history = scheduler.history()
+    print(render_schedule(history))
+    print()
+    events = [str(event) for event in history.events]
+    produce_at = events.index("Production.produce")
+    commit_at = events.index("C(Construction)")
+    print(
+        f"production pivot deferred until construction committed: "
+        f"C(Construction) at {commit_at} < produce at {produce_at}"
+    )
+    show_state(scenario)
+
+    print()
+    print("=" * 70)
+    print("Run 2 — the test fails after production read the BOM")
+    print("=" * 70)
+    scenario, scheduler = run_cim(fail_test=True)
+    history = scheduler.history()
+    print(render_schedule(history))
+    print()
+    print(f"statuses:          {scheduler.statuses()}")
+    print(f"cascading aborts:  {scheduler.stats['cascading_aborts']}")
+    show_state(scenario)
+    print()
+    print(
+        "The PDM entry was compensated, the production process was\n"
+        "cascade-aborted (its compensations ran in reverse order before\n"
+        "pdm_entry^-1 — Lemma 2), the drawing was archived for reuse\n"
+        "(§2.1), and — the whole point — zero parts were produced."
+    )
+
+
+if __name__ == "__main__":
+    main()

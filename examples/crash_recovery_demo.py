@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Scheduler crash and restart recovery (Definition 8's group abort).
+
+The scheduler write-ahead-logs every protocol step.  We crash it at an
+inconvenient moment — one process backward-recoverable, the other past
+its pivot — and run restart recovery:
+
+1. WAL analysis reconstructs who was active and what had committed;
+2. in-doubt prepared transactions are resolved (presumed abort);
+3. the group abort ``A(P_{n_1}, …)`` finishes every active process via
+   its completion — compensation for the B-REC one, the retriable
+   forward path for the F-REC one;
+4. the combined history is certified prefix-reducible.
+
+Run with::
+
+    python examples/crash_recovery_demo.py
+"""
+
+from repro import InMemoryWAL, TransactionalProcessScheduler, check_pred, recover
+from repro.analysis import render_schedule
+from repro.scenarios.paper import paper_conflicts, process_p1, process_p2
+
+
+def main() -> None:
+    wal = InMemoryWAL()
+    scheduler = TransactionalProcessScheduler(
+        conflicts=paper_conflicts(), wal=wal
+    )
+    scheduler.submit(process_p1())
+    scheduler.submit(process_p2())
+
+    print("=" * 70)
+    print("Running… then crash mid-flight")
+    print("=" * 70)
+    for _ in range(3):
+        scheduler.step_round()
+    print("pre-crash history:")
+    print(render_schedule(scheduler.history()))
+    print()
+    print("WAL records so far:")
+    for record in wal.records():
+        interesting = {
+            key: value
+            for key, value in record.items()
+            if key not in ("lsn",)
+        }
+        print(f"  [{record['lsn']:>2}] {interesting}")
+
+    scheduler.crash()
+    print("\n*** scheduler crashed — volatile state gone ***")
+    print(
+        f"prepared (in-doubt) transactions at subsystems: "
+        f"{len(scheduler.registry.prepared_transactions())}"
+    )
+
+    print()
+    print("=" * 70)
+    print("Restart recovery")
+    print("=" * 70)
+    report = recover(
+        wal,
+        scheduler.registry,
+        {"P1": process_p1(), "P2": process_p2()},
+        conflicts=paper_conflicts(),
+    )
+    print(f"active at crash:        {report.group_aborted}")
+    print(f"in-doubt rolled back:   {report.rolled_back_in_doubt}")
+    print(f"in-doubt re-committed:  {report.re_committed_in_doubt}")
+    print()
+    print("recovered history (pre-crash events + completions):")
+    print(render_schedule(report.history))
+    print()
+    statuses = report.scheduler.statuses()
+    for pid, status in sorted(statuses.items()):
+        print(f"  {pid}: {status.value}")
+    result = check_pred(report.history)
+    print(f"\ncertificate: {result}")
+    print(
+        "\nBackward-recoverable processes were compensated; forward-\n"
+        "recoverable ones were driven down their retriable path — the\n"
+        "group abort of Definition 8, live."
+    )
+
+
+if __name__ == "__main__":
+    main()

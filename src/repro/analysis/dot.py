@@ -1,0 +1,107 @@
+"""Graphviz (DOT) exporters for processes and schedules.
+
+Complements the ASCII renderers with machine-consumable graph exports:
+
+* :func:`process_to_dot` — the process graph in the visual language of
+  the paper's Figure 2: solid edges for the precedence order ``≪``,
+  dashed edges for the preference order ``◁``, node shapes per
+  termination guarantee;
+* :func:`schedule_to_dot` — one subgraph lane per process with the
+  conflict arcs between lanes (the dashed arcs of Figure 4);
+* :func:`serialization_graph_to_dot` — the process-level conflict graph
+  whose acyclicity is serializability.
+
+The output is plain DOT text; rendering requires graphviz, which is
+deliberately not a dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.activity import ActivityKind
+from repro.core.process import Process
+from repro.core.schedule import ProcessSchedule
+
+__all__ = ["process_to_dot", "schedule_to_dot", "serialization_graph_to_dot"]
+
+_SHAPES = {
+    ActivityKind.COMPENSATABLE: "ellipse",
+    ActivityKind.PIVOT: "box",
+    ActivityKind.RETRIABLE: "diamond",
+}
+
+
+def _quote(text: str) -> str:
+    escaped = text.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def process_to_dot(process: Process) -> str:
+    """Render a process template as DOT (Figure-2 visual language)."""
+    lines = [f"digraph {_quote(process.process_id)} {{", "  rankdir=LR;"]
+    for name in process.activity_names:
+        definition = process.activity(name)
+        label = f"{name}^{definition.kind.symbol}"
+        lines.append(
+            f"  {_quote(name)} [label={_quote(label)} "
+            f"shape={_SHAPES[definition.kind]}];"
+        )
+    for before, after in process.edges():
+        lines.append(f"  {_quote(before)} -> {_quote(after)};")
+    for source in process.preference_sources():
+        branches = process.alternatives(source)
+        for higher, lower in zip(branches, branches[1:]):
+            lines.append(
+                f"  {_quote(higher)} -> {_quote(lower)} "
+                f"[style=dashed constraint=false "
+                f"label={_quote('◁')}];"
+            )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def schedule_to_dot(schedule: ProcessSchedule) -> str:
+    """Render a schedule: per-process lanes plus conflict arcs."""
+    lines = ["digraph schedule {", "  rankdir=LR;"]
+    lanes: Dict[str, List[str]] = {}
+    node_ids: List[str] = []
+    for position, event in schedule.activity_events():
+        node = f"n{position}"
+        node_ids.append(node)
+        label = str(event.activity).split(".", 1)[1]
+        lanes.setdefault(event.process_id, []).append(
+            f"    {node} [label={_quote(label)}];"
+        )
+    for index, (process_id, nodes) in enumerate(sorted(lanes.items())):
+        lines.append(f"  subgraph cluster_{index} {{")
+        lines.append(f"    label={_quote(process_id)};")
+        lines.extend(nodes)
+        lines.append("  }")
+    # intra-process order
+    per_process: Dict[str, List[int]] = {}
+    for position, event in schedule.activity_events():
+        per_process.setdefault(event.process_id, []).append(position)
+    for positions in per_process.values():
+        for before, after in zip(positions, positions[1:]):
+            lines.append(f"  n{before} -> n{after};")
+    # conflict arcs (the dashed arcs of Figure 4)
+    for i, left, j, right in schedule.conflicting_pairs():
+        lines.append(
+            f"  n{i} -> n{j} [style=dashed color=red constraint=false];"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def serialization_graph_to_dot(schedule: ProcessSchedule) -> str:
+    """Render the process-level conflict graph (acyclic ⇔ serializable)."""
+    graph = schedule.serialization_graph()
+    lines = ["digraph serialization {"]
+    for node in sorted(graph):
+        lines.append(f"  {_quote(node)};")
+    for source in sorted(graph):
+        for target in sorted(graph[source]):
+            lines.append(f"  {_quote(source)} -> {_quote(target)};")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,64 @@
+"""Plain-text tables for the benchmark harness.
+
+Every benchmark prints the rows EXPERIMENTS.md records; this module
+renders lists of dictionaries as aligned ASCII tables so the bench
+output is directly comparable across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+__all__ = ["format_table", "print_table"]
+
+
+def _cell(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Dict[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as an aligned ASCII table.
+
+    Column order follows ``columns`` when given, else the key order of
+    the first row.  Missing values render as ``-``.
+    """
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    headers = list(columns) if columns else list(rows[0].keys())
+    table = [[_cell(row.get(column)) for column in headers] for row in rows]
+    widths = [
+        max(len(header), *(len(line[index]) for line in table))
+        for index, header in enumerate(headers)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(header.ljust(width) for header, width in zip(headers, widths))
+    )
+    lines.append("  ".join("-" * width for width in widths))
+    for line in table:
+        lines.append(
+            "  ".join(cell.ljust(width) for cell, width in zip(line, widths))
+        )
+    return "\n".join(lines)
+
+
+def print_table(
+    rows: Sequence[Dict[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> None:
+    """Print :func:`format_table` output (bench entry point)."""
+    print()
+    print(format_table(rows, columns=columns, title=title))

@@ -1,0 +1,138 @@
+"""ASCII rendering of processes and schedules.
+
+Pure-text visualisation used by the examples and handy when debugging
+schedules: processes render as indented structure trees (the flex
+grammar), schedules as one swimlane per process with time flowing left
+to right — the same visual language as the paper's figures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.flex import FlexActivity, FlexChoice, FlexSeq, parse_flex
+from repro.core.process import Process
+from repro.core.schedule import (
+    AbortEvent,
+    ActivityEvent,
+    CommitEvent,
+    GroupAbortEvent,
+    ProcessSchedule,
+)
+
+__all__ = ["render_process", "render_schedule", "render_conflicts"]
+
+
+def render_process(process: Process) -> str:
+    """Render a process's flex structure as an indented tree.
+
+    Example output for the paper's ``P_1``::
+
+        Process P1
+        └─ a11^c ≪ a12^p
+           ├─ alternative 1: a13^c ≪ a14^p
+           └─ alternative 2: a15^r ≪ a16^r
+    """
+    tree = parse_flex(process)
+    lines = [f"Process {process.process_id}"]
+
+    def chain_label(seq: FlexSeq) -> Tuple[str, Optional[FlexChoice]]:
+        labels: List[str] = []
+        for item in seq.items:
+            if isinstance(item, FlexActivity):
+                labels.append(f"{item.name}^{item.kind.symbol}")
+            else:
+                return (" ≪ ".join(labels), item)
+        return (" ≪ ".join(labels), None)
+
+    def walk(seq: FlexSeq, indent: str) -> None:
+        label, choice_node = chain_label(seq)
+        lines.append(f"{indent}└─ {label or '(empty)'}")
+        if choice_node is None:
+            return
+        child_indent = indent + "   "
+        for index, branch in enumerate(choice_node.branches):
+            branch_label, nested = chain_label(branch)
+            connector = "├─" if index < len(choice_node.branches) - 1 else "└─"
+            lines.append(
+                f"{child_indent}{connector} alternative {index + 1}: "
+                f"{branch_label or '(empty)'}"
+            )
+            if nested is not None:
+                walk_branch_tail(nested, child_indent + "   ")
+
+    def walk_branch_tail(choice_node: FlexChoice, indent: str) -> None:
+        for index, branch in enumerate(choice_node.branches):
+            branch_label, nested = chain_label(branch)
+            connector = "├─" if index < len(choice_node.branches) - 1 else "└─"
+            lines.append(
+                f"{indent}{connector} alternative {index + 1}: "
+                f"{branch_label or '(empty)'}"
+            )
+            if nested is not None:
+                walk_branch_tail(nested, indent + "   ")
+
+    walk(tree, "")
+    return "\n".join(lines)
+
+
+def render_schedule(schedule: ProcessSchedule) -> str:
+    """Render a schedule as swimlanes, one row per process.
+
+    Example::
+
+        P1 | a11          a12  a13
+        P2 |      a21 a22           a24
+           +------------------------------ time →
+    """
+    lanes: Dict[str, List[str]] = {}
+    order: List[str] = []
+    columns: List[Tuple[Optional[str], str]] = []
+    for event in schedule.events:
+        if isinstance(event, ActivityEvent):
+            label = event.activity.activity_name + (
+                "⁻¹" if event.is_compensation else ""
+            )
+            columns.append((event.process_id, label))
+            if event.process_id not in lanes:
+                lanes[event.process_id] = []
+                order.append(event.process_id)
+        elif isinstance(event, CommitEvent):
+            columns.append((event.process_id, "C"))
+            if event.process_id not in lanes:
+                lanes[event.process_id] = []
+                order.append(event.process_id)
+        elif isinstance(event, AbortEvent):
+            columns.append((event.process_id, "A"))
+            if event.process_id not in lanes:
+                lanes[event.process_id] = []
+                order.append(event.process_id)
+        elif isinstance(event, GroupAbortEvent):
+            columns.append((None, f"A({','.join(event.process_ids)})"))
+
+    widths = [max(len(label), 1) for _, label in columns]
+    rows: Dict[str, List[str]] = {pid: [] for pid in order}
+    group_row: List[str] = []
+    for (pid, label), width in zip(columns, widths):
+        for row_pid in order:
+            cell = label if row_pid == pid else ""
+            rows[row_pid].append(cell.ljust(width))
+        group_row.append((label if pid is None else "").ljust(width))
+
+    name_width = max((len(pid) for pid in order), default=2)
+    lines = [
+        f"{pid.ljust(name_width)} | " + " ".join(rows[pid]) for pid in order
+    ]
+    if any(cell.strip() for cell in group_row):
+        lines.append(f"{'*'.ljust(name_width)} | " + " ".join(group_row))
+    ruler = "-" * (sum(widths) + len(widths))
+    lines.append(f"{' ' * name_width} +{ruler} time →")
+    return "\n".join(lines)
+
+
+def render_conflicts(schedule: ProcessSchedule) -> str:
+    """List the ordered conflicting pairs of a schedule."""
+    lines = []
+    for _, left, _, right in schedule.conflicting_pairs():
+        lines.append(f"{left} —✕— {right}")
+    return "\n".join(lines) if lines else "(no conflicting pairs)"

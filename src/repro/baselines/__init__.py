@@ -1,0 +1,7 @@
+"""Baseline schedulers for the comparison benchmarks (X2, X6)."""
+
+from repro.baselines.base import BaselineProcess, BaselineScheduler, BaselineStats
+from repro.baselines.flat import FlatScheduler
+from repro.baselines.locking import LockingScheduler
+from repro.baselines.optimistic import OptimisticScheduler
+from repro.baselines.serial import SerialScheduler

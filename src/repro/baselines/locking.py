@@ -1,0 +1,116 @@
+"""Concurrency-control-only baseline: conflict locking over activities.
+
+Represents the line of work the paper contrasts itself with — analysing
+"concurrency control without considering recovery" (§1, [AAHD97]).  The
+scheduler serialises processes correctly by acquiring *conflict locks*
+at the service granularity and holding them until process termination
+(strict two-phase locking lifted to processes), but it is oblivious to
+termination guarantees: pivot and retriable activities commit
+immediately, compensations run whenever the instance asks for them.
+
+Consequences the benchmarks demonstrate:
+
+* histories stay serializable as long as no recovery interferes —
+  concurrency control alone is fine while nothing aborts;
+* a 2PL deadlock whose only victims are *forward-recoverable* cannot be
+  resolved within the lock discipline: the victim's retriable
+  completion needs new locks, so the recovery-oblivious baseline runs
+  it unlocked and may lose serializability even failure-free;
+* under failures, histories additionally violate PRED/Proc-REC (e.g. a
+  process compensates an activity another process already depends on).
+  The offline checkers count all of this against the baseline in X2/X6
+  — it is precisely the paper's point that concurrency control and
+  recovery must be solved together.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.baselines.base import BaselineProcess, BaselineScheduler
+from repro.core.instance import ActionType
+from repro.errors import SchedulerError
+
+__all__ = ["LockingScheduler"]
+
+
+class LockingScheduler(BaselineScheduler):
+    """Strict 2PL at the process level, recovery-oblivious."""
+
+    name = "locking"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        #: process id -> services it has conflict-locked (until the end)
+        self._owned: Dict[str, Set[str]] = {}
+
+    def _lock_conflicting(self, pid: str, service: str) -> Optional[str]:
+        """Try to lock ``service`` for ``pid``; returns a blocker or None.
+
+        Two services need mutual exclusion iff they conflict; a request
+        checks every held service of every other live process.
+        """
+        for owner, services in self._owned.items():
+            if owner == pid:
+                continue
+            for held in services:
+                if self.conflicts.conflicts(held, service):
+                    return owner
+        self._owned.setdefault(pid, set()).add(service)
+        return None
+
+    def _release(self, pid: str) -> None:
+        self._owned.pop(pid, None)
+
+    def _step_one(self, managed: BaselineProcess) -> bool:
+        action = managed.instance.next_action()
+        if action.type is ActionType.FINISHED:
+            self._release(managed.process_id)
+            self._terminate(managed)
+            if not managed.committed:
+                self.stats.aborts += 1
+            return True
+        assert action.activity is not None
+        definition = managed.instance.definition(action.activity)
+        service = definition.service
+        assert service is not None
+        blocker = self._lock_conflicting(managed.process_id, service)
+        if blocker is not None:
+            self.stats.deferred += 1
+            return False
+        return self._execute(managed, action)
+
+    def _on_stall(self) -> None:
+        # 2PL deadlock: abort a blocked process.  Backward-recoverable
+        # victims are preferred: their completion only compensates
+        # services they already hold locks on, so the deadlock resolves
+        # without breaking two-phase locking.  A forward-recoverable
+        # victim's completion needs *new* locks the baseline cannot
+        # grant two-phase; recovery-oblivious as it is, it releases the
+        # victim's locks and lets the forward recovery run unlocked —
+        # the correctness defect benchmarks X2/X6 measure.
+        from repro.core.instance import RecoveryState
+
+        victims = [
+            managed
+            for managed in self._managed.values()
+            if not managed.terminated
+            and not managed.instance.status.is_terminal
+        ]
+        if not victims:
+            raise SchedulerError("locking baseline stalled")
+        backward = [
+            managed
+            for managed in victims
+            if managed.instance.recovery_state() is RecoveryState.B_REC
+        ]
+        pool = backward or victims
+        victim = min(
+            pool,
+            key=lambda managed: len(managed.instance.committed_sequence()),
+        )
+        victim.instance.request_abort()
+        if not backward:
+            # forward recovery outside the lock discipline (the defect)
+            self._release(victim.process_id)
+        self.stats.aborts += 1

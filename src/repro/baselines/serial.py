@@ -1,0 +1,42 @@
+"""Serial baseline: one process at a time behind a global lock.
+
+The trivially correct discipline — every history is serial, hence
+serializable, Proc-REC and PRED — at the cost of zero inter-process
+parallelism.  Benchmark X1 uses it as the "time-to-market" baseline the
+paper's §2.2 motivates parallel execution against; X2 uses it as the
+throughput floor (or ceiling, under extreme conflict rates, since it
+never aborts).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineProcess, BaselineScheduler
+from repro.core.instance import ActionType
+from repro.errors import SchedulerError
+
+__all__ = ["SerialScheduler"]
+
+
+class SerialScheduler(BaselineScheduler):
+    """Runs each submitted process to termination before the next."""
+
+    name = "serial"
+
+    def _head(self) -> BaselineProcess:
+        for managed in self._managed.values():
+            if not managed.terminated:
+                return managed
+        raise SchedulerError("no runnable process")  # pragma: no cover
+
+    def _step_one(self, managed: BaselineProcess) -> bool:
+        # Only the oldest non-terminated process may run — global lock.
+        if managed is not self._head():
+            return False
+        action = managed.instance.next_action()
+        if action.type is ActionType.FINISHED:
+            self._terminate(managed)
+            if not managed.committed:
+                self.stats.aborts += 1
+            return True
+        # Serial execution never blocks on locks (nothing else runs).
+        return self._execute(managed, action)

@@ -1,0 +1,322 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``check <schedule.json>``
+    Classify a serialized schedule: legality, serializability, RED,
+    PRED and process-recoverability, with witnesses.
+
+``render <process.json>``
+    Pretty-print a serialized process template's flex structure and its
+    valid executions.
+
+``workload``
+    Generate a random well-formed workload and run it under a chosen
+    scheduler discipline, printing the metrics row and the correctness
+    grades (the X2 benchmark, à la carte).
+
+``demo``
+    Run the built-in CIM demonstration (the paper's Figure 1), with or
+    without the failing test.
+
+``dot <file.json>``
+    Export a serialized process or schedule as Graphviz DOT on stdout.
+
+``sweep``
+    The X2 benchmark à la carte: run a conflict-rate sweep over all (or
+    selected) scheduling disciplines and print the comparison table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.analysis.report import format_table
+from repro.analysis.dot import process_to_dot, schedule_to_dot
+from repro.analysis.viz import render_process, render_schedule
+from repro.baselines import (
+    FlatScheduler,
+    LockingScheduler,
+    OptimisticScheduler,
+    SerialScheduler,
+)
+from repro.core.flex import enumerate_executions
+from repro.core.pred import check_pred
+from repro.core.recoverability import check_process_recoverability
+from repro.core.reduction import reduce_schedule
+from repro.core.scheduler import TransactionalProcessScheduler
+from repro.core.serialize import (
+    process_from_json,
+    schedule_from_dict,
+)
+from repro.errors import ReproError
+from repro.sim.runner import simulate_run
+from repro.sim.workload import WorkloadSpec, generate_workload
+
+SCHEDULERS = {
+    "pred": TransactionalProcessScheduler,
+    "serial": SerialScheduler,
+    "locking": LockingScheduler,
+    "flat": FlatScheduler,
+    "optimistic": OptimisticScheduler,
+}
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    with open(args.schedule, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    schedule = schedule_from_dict(payload)
+    print(render_schedule(schedule))
+    print()
+    rows = [{"property": "legal execution", "verdict": schedule.is_legal()}]
+    rows.append(
+        {
+            "property": "serializable",
+            "verdict": schedule.is_serializable(),
+            "witness": " ≪ ".join(schedule.serialization_order() or [])
+            or "; ".join("→".join(c) for c in schedule.cycles()),
+        }
+    )
+    reduction = reduce_schedule(schedule)
+    rows.append(
+        {
+            "property": "reducible (RED)",
+            "verdict": reduction.is_reducible,
+            "witness": (
+                f"cancelled {len(reduction.cancelled_pairs)} pairs"
+                if reduction.is_reducible
+                else "cycle " + "→".join(reduction.witness_cycle or ())
+            ),
+        }
+    )
+    pred = check_pred(schedule)
+    rows.append(
+        {
+            "property": "prefix-reducible (PRED)",
+            "verdict": pred.is_pred,
+            "witness": (
+                f"{pred.prefixes_checked} prefixes"
+                if pred.is_pred
+                else f"prefix {pred.violating_prefix_length} irreducible"
+            ),
+        }
+    )
+    proc_rec = check_process_recoverability(schedule)
+    rows.append(
+        {
+            "property": "process-recoverable (Proc-REC)",
+            "verdict": proc_rec.is_process_recoverable,
+            "witness": (
+                ""
+                if proc_rec.is_process_recoverable
+                else str(proc_rec.violations[0])
+            ),
+        }
+    )
+    print(
+        format_table(
+            rows,
+            columns=["property", "verdict", "witness"],
+            title=f"Classification of {args.schedule}",
+        )
+    )
+    return 0 if pred.is_pred else 1
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    with open(args.process, "r", encoding="utf-8") as handle:
+        process = process_from_json(handle.read())
+    print(render_process(process))
+    if args.executions:
+        print()
+        print("valid executions:")
+        for path in enumerate_executions(process):
+            print(f"  {path}")
+    return 0
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    spec = WorkloadSpec(
+        processes=args.processes,
+        conflict_rate=args.conflicts,
+        failure_rate=args.failures,
+        seed=args.seed,
+    )
+    workload = generate_workload(spec)
+    scheduler_cls = SCHEDULERS[args.scheduler]
+    scheduler = scheduler_cls(conflicts=workload.conflicts)
+    for process in workload.processes:
+        scheduler.submit(process, failures=workload.failures)
+    metrics = simulate_run(
+        scheduler, durations=workload.duration, order=args.order
+    )
+    history = scheduler.history()
+    try:
+        metrics.serializable = (
+            history.committed_projection().is_serializable()
+        )
+        metrics.prefix_reducible = check_pred(history).is_pred
+    except ReproError:
+        metrics.illegal_history = True
+    print(format_table([metrics.row()], title=f"workload seed={args.seed}"))
+    if args.show_history:
+        print()
+        print(render_schedule(history))
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.scenarios.cim import run_cim
+
+    scenario, scheduler = run_cim(fail_test=args.fail_test)
+    print(render_schedule(scheduler.history()))
+    print()
+    rows = [
+        {
+            "process": pid,
+            "status": status.value,
+        }
+        for pid, status in sorted(scheduler.statuses().items())
+    ]
+    print(format_table(rows, title="CIM demo (paper §2, Figure 1)"))
+    print(
+        f"\nparts produced: "
+        f"{scenario.registry.get('floor').store.get('produced')}"
+    )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.sim.experiments import sweep
+
+    rows = sweep(
+        conflict_rates=args.conflicts,
+        failure_rates=args.failures,
+        disciplines=args.disciplines or None,
+        processes=args.processes,
+        seed=args.seed,
+        order=args.order,
+    )
+    print(
+        format_table(
+            rows,
+            columns=[
+                "scheduler",
+                "conflict_rate",
+                "failure_rate",
+                "makespan",
+                "committed",
+                "aborted",
+                "restarts",
+                "legal",
+                "serializable",
+                "pred",
+            ],
+            title="discipline sweep",
+        )
+    )
+    return 0
+
+
+def _cmd_dot(args: argparse.Namespace) -> int:
+    with open(args.file, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    kind = payload.get("format")
+    if kind == "repro/process":
+        from repro.core.serialize import process_from_dict
+
+        print(process_to_dot(process_from_dict(payload)))
+        return 0
+    if kind == "repro/schedule":
+        print(schedule_to_dot(schedule_from_dict(payload)))
+        return 0
+    print(f"error: unknown format {kind!r}", file=sys.stderr)
+    return 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Transactional process management (PODS'99 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    check = commands.add_parser("check", help="classify a schedule JSON file")
+    check.add_argument("schedule", help="path to a serialized schedule")
+    check.set_defaults(handler=_cmd_check)
+
+    render = commands.add_parser("render", help="pretty-print a process")
+    render.add_argument("process", help="path to a serialized process")
+    render.add_argument(
+        "--executions",
+        action="store_true",
+        help="also enumerate the valid executions",
+    )
+    render.set_defaults(handler=_cmd_render)
+
+    workload = commands.add_parser(
+        "workload", help="run a random workload under a discipline"
+    )
+    workload.add_argument("--processes", type=int, default=5)
+    workload.add_argument("--conflicts", type=float, default=0.1)
+    workload.add_argument("--failures", type=float, default=0.0)
+    workload.add_argument("--seed", type=int, default=0)
+    workload.add_argument(
+        "--scheduler", choices=sorted(SCHEDULERS), default="pred"
+    )
+    workload.add_argument(
+        "--order", choices=["strong", "weak"], default="strong"
+    )
+    workload.add_argument("--show-history", action="store_true")
+    workload.set_defaults(handler=_cmd_workload)
+
+    demo = commands.add_parser("demo", help="run the CIM demonstration")
+    demo.add_argument(
+        "--fail-test",
+        action="store_true",
+        help="make the test activity fail (§2.2's recovery scenario)",
+    )
+    demo.set_defaults(handler=_cmd_demo)
+
+    dot = commands.add_parser(
+        "dot", help="export a process/schedule JSON file as Graphviz DOT"
+    )
+    dot.add_argument("file", help="path to a serialized process or schedule")
+    dot.set_defaults(handler=_cmd_dot)
+
+    sweep = commands.add_parser(
+        "sweep", help="compare disciplines over a conflict/failure grid"
+    )
+    sweep.add_argument(
+        "--conflicts", type=float, nargs="+", default=[0.0, 0.1, 0.3]
+    )
+    sweep.add_argument("--failures", type=float, nargs="+", default=[0.0])
+    sweep.add_argument(
+        "--disciplines", nargs="*", choices=sorted(SCHEDULERS), default=None
+    )
+    sweep.add_argument("--processes", type=int, default=5)
+    sweep.add_argument("--seed", type=int, default=7)
+    sweep.add_argument("--order", choices=["strong", "weak"], default="strong")
+    sweep.set_defaults(handler=_cmd_sweep)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

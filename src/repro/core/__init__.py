@@ -1,0 +1,60 @@
+"""Core theory: process model, schedules, completion, reduction, PRED."""
+
+from repro.core.activity import ActivityDef, ActivityId, ActivityKind, Direction
+from repro.core.conflict import (
+    AllConflicts,
+    ConflictRelation,
+    ExplicitConflicts,
+    NoConflicts,
+    ReadWriteConflicts,
+    UnionConflicts,
+)
+from repro.core.process import Process, ProcessBuilder
+from repro.core.flex import (
+    ExecutionPath,
+    Outcome,
+    build_process,
+    choice,
+    comp,
+    count_valid_executions,
+    enumerate_executions,
+    is_well_formed,
+    parse_flex,
+    pivot,
+    retr,
+    seq,
+    simulate,
+    state_determining_activity,
+)
+from repro.core.instance import (
+    Action,
+    ActionType,
+    Completion,
+    InstanceStatus,
+    ProcessInstance,
+    RecoveryState,
+)
+from repro.core.schedule import (
+    AbortEvent,
+    ActivityEvent,
+    CommitEvent,
+    GroupAbortEvent,
+    ProcessSchedule,
+)
+from repro.core.completion import CompletedSchedule, complete_schedule
+from repro.core.reduction import ReductionResult, is_reducible, reduce_schedule
+from repro.core.pred import PredResult, check_pred, is_prefix_reducible
+from repro.core.recoverability import (
+    ProcRecResult,
+    ProcRecViolation,
+    check_process_recoverability,
+    is_process_recoverable,
+)
+from repro.core.serialize import (
+    process_from_dict,
+    process_from_json,
+    process_to_dict,
+    process_to_json,
+    schedule_from_dict,
+    schedule_to_dict,
+)

@@ -1,0 +1,241 @@
+"""Commutativity and conflict of activities (paper §3.2, Definition 6).
+
+Two activities *commute* when swapping them in any context leaves all
+return values unchanged; otherwise they are *in conflict*.  The paper
+assumes commutativity to be **perfect**: if ``a`` and ``b`` conflict,
+then so do all combinations of ``a, a⁻¹`` with ``b, b⁻¹``, and likewise
+for commuting pairs.  We realise perfect commutativity structurally: the
+conflict relation is declared between *forward* services only, and every
+occurrence (forward or compensating) is normalised to its forward
+service before lookup.
+
+Conflicts can be declared two ways:
+
+* **explicitly**, as a symmetric set of service pairs — this is how the
+  paper's abstract examples (Figures 4-9) specify which activities
+  "do not commute (denoted by dashed arcs)";
+* **semantically**, from read/write sets over named resources: two
+  services conflict iff one writes a resource the other reads or writes.
+  This matches how real subsystems derive conflicts and is what the
+  simulation workloads use.
+
+Both representations implement the same :class:`ConflictRelation`
+interface so schedules, checkers and schedulers are agnostic to the
+source of conflict information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from repro.core.activity import COMPENSATION_SUFFIX
+
+__all__ = [
+    "ConflictRelation",
+    "ExplicitConflicts",
+    "ReadWriteConflicts",
+    "NoConflicts",
+    "AllConflicts",
+    "UnionConflicts",
+    "normalize_service",
+]
+
+
+def normalize_service(service: str) -> str:
+    """Map a compensation service name to its forward service.
+
+    Perfect commutativity (paper §3.2) means a compensating activity has
+    exactly the conflicts of its forward activity, so conflict lookup
+    always happens on forward service names.
+    """
+    if service.endswith(COMPENSATION_SUFFIX):
+        return service[: -len(COMPENSATION_SUFFIX)]
+    return service
+
+
+class ConflictRelation:
+    """Abstract symmetric conflict relation over service names.
+
+    Subclasses implement :meth:`_conflicts_forward` on *normalised*
+    (forward) service names; the public API applies perfect-commutativity
+    normalisation and symmetry.
+    """
+
+    def conflicts(self, service_a: str, service_b: str) -> bool:
+        """``True`` iff the two services do not commute (Definition 6)."""
+        return self._conflicts_forward(
+            normalize_service(service_a), normalize_service(service_b)
+        )
+
+    def commute(self, service_a: str, service_b: str) -> bool:
+        """``True`` iff the two services commute (Definition 6)."""
+        return not self.conflicts(service_a, service_b)
+
+    def _conflicts_forward(self, service_a: str, service_b: str) -> bool:
+        raise NotImplementedError
+
+    def __or__(self, other: "ConflictRelation") -> "ConflictRelation":
+        """Union of two relations: conflict if either declares one."""
+        return UnionConflicts((self, other))
+
+
+class NoConflicts(ConflictRelation):
+    """Every pair of services commutes — maximal parallelism."""
+
+    def _conflicts_forward(self, service_a: str, service_b: str) -> bool:
+        return False
+
+
+class AllConflicts(ConflictRelation):
+    """Every pair of distinct services conflicts — the adversarial case.
+
+    Whether a service conflicts with itself is configurable; the paper's
+    examples treat repeated invocations of the same service as
+    conflicting, which is the default.
+    """
+
+    def __init__(self, self_conflicts: bool = True) -> None:
+        self._self_conflicts = self_conflicts
+
+    def _conflicts_forward(self, service_a: str, service_b: str) -> bool:
+        if service_a == service_b:
+            return self._self_conflicts
+        return True
+
+
+class ExplicitConflicts(ConflictRelation):
+    """Conflict relation given as an explicit set of service pairs.
+
+    ``ExplicitConflicts([("pdm_entry", "pdm_read")])`` declares that the
+    two services do not commute.  Pairs are stored symmetrically; perfect
+    closure over compensations is applied on lookup.
+    """
+
+    def __init__(self, pairs: Iterable[Tuple[str, str]] = ()) -> None:
+        self._pairs: Set[FrozenSet[str]] = set()
+        for left, right in pairs:
+            self.declare(left, right)
+
+    def declare(self, service_a: str, service_b: str) -> "ExplicitConflicts":
+        """Declare that two services conflict; returns ``self`` for chaining."""
+        pair = frozenset(
+            (normalize_service(service_a), normalize_service(service_b))
+        )
+        self._pairs.add(pair)
+        return self
+
+    def retract(self, service_a: str, service_b: str) -> "ExplicitConflicts":
+        """Remove a declared conflict if present; returns ``self``."""
+        pair = frozenset(
+            (normalize_service(service_a), normalize_service(service_b))
+        )
+        self._pairs.discard(pair)
+        return self
+
+    def _conflicts_forward(self, service_a: str, service_b: str) -> bool:
+        return frozenset((service_a, service_b)) in self._pairs
+
+    def pairs(self) -> Iterator[Tuple[str, str]]:
+        """Iterate declared conflicting pairs (normalised, arbitrary order)."""
+        for pair in self._pairs:
+            members = sorted(pair)
+            if len(members) == 1:
+                yield (members[0], members[0])
+            else:
+                yield (members[0], members[1])
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+
+@dataclass(frozen=True)
+class _AccessSet:
+    reads: FrozenSet[str] = frozenset()
+    writes: FrozenSet[str] = frozenset()
+
+
+class ReadWriteConflicts(ConflictRelation):
+    """Semantic conflicts derived from read/write sets over resources.
+
+    Services are registered with the resources they read and write.  Two
+    services conflict iff one writes a resource the other touches —
+    the classical RW/WR/WW test lifted to semantically rich operations.
+    Unregistered services are treated as conflict-free (a service that
+    touches no shared resource commutes with everything).
+    """
+
+    def __init__(self) -> None:
+        self._accesses: Dict[str, _AccessSet] = {}
+
+    def register(
+        self,
+        service: str,
+        reads: Iterable[str] = (),
+        writes: Iterable[str] = (),
+    ) -> "ReadWriteConflicts":
+        """Register (or extend) the access set of ``service``.
+
+        Registering the same service twice unions the access sets, which
+        lets scenario builders declare accesses incrementally.
+        """
+        name = normalize_service(service)
+        current = self._accesses.get(name, _AccessSet())
+        self._accesses[name] = _AccessSet(
+            reads=current.reads | frozenset(reads),
+            writes=current.writes | frozenset(writes),
+        )
+        return self
+
+    def access_set(self, service: str) -> Tuple[FrozenSet[str], FrozenSet[str]]:
+        """Return ``(reads, writes)`` of a service (empty if unknown)."""
+        entry = self._accesses.get(normalize_service(service), _AccessSet())
+        return entry.reads, entry.writes
+
+    def _conflicts_forward(self, service_a: str, service_b: str) -> bool:
+        left = self._accesses.get(service_a)
+        right = self._accesses.get(service_b)
+        if left is None or right is None:
+            return False
+        if left.writes & (right.reads | right.writes):
+            return True
+        if right.writes & left.reads:
+            return True
+        return False
+
+    def services(self) -> Iterator[str]:
+        return iter(self._accesses)
+
+
+class UnionConflicts(ConflictRelation):
+    """Union of several conflict relations.
+
+    Useful to combine semantic (read/write) conflicts with extra
+    explicitly declared ones, e.g. conflicts through an external channel
+    the resource model does not capture.
+    """
+
+    def __init__(self, relations: Iterable[ConflictRelation]) -> None:
+        flattened = []
+        for relation in relations:
+            if isinstance(relation, UnionConflicts):
+                flattened.extend(relation._relations)
+            else:
+                flattened.append(relation)
+        self._relations: Tuple[ConflictRelation, ...] = tuple(flattened)
+
+    def _conflicts_forward(self, service_a: str, service_b: str) -> bool:
+        return any(
+            relation._conflicts_forward(service_a, service_b)
+            for relation in self._relations
+        )

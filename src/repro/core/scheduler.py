@@ -1,0 +1,1334 @@
+"""The online transactional process scheduler (paper §3.5 and §4).
+
+The paper proves that PRED schedules are exactly the correct ones, and
+derives from Lemmas 1-3 the rules a *dynamic* scheduler must enforce —
+re-checking PRED on every prefix would require completing and reducing
+the schedule each time (benchmark X4 measures that cost).  This module
+implements the constructive protocol:
+
+R1 — **conflict ordering**: conflicting activities of different
+     processes are serialised; executing ``b`` of ``P_j`` after a
+     conflicting committed activity of ``P_i`` records the dependency
+     ``P_i → P_j`` in the process serialization graph.
+
+R2 — **completion-aware cycle prevention**: a request is deferred if
+     the *completed prefix* it would create is irreducible — the check
+     combines the recorded conflict edges with the "potential" edges
+     that the forward-recovery paths of active processes' completions
+     would force (§3.5: the completed schedule must always be
+     considered; completions introduce conflicts S itself cannot show).
+
+R3 — **Lemma 1 (execution side)**: a *non-compensatable* activity of
+     ``P_j`` is deferred while any process with a conflict edge into
+     ``P_j`` is still active — otherwise a later compensation of the
+     predecessor would create an irreducible cycle (Example 8), and
+     Proc-REC 11.2's ordering of state-determining activities would
+     break.
+
+R4 — **Lemma 1 (commit side) / deferred commit**: pivot and retriable
+     activities execute with their subsystem transactions *prepared*;
+     per-process groups commit atomically through 2PC once no
+     conflicting active predecessor remains (the hardening guard — the
+     literal content of Lemma 1).  Until hardened, a process remains
+     effectively backward-recoverable and is a cheap abort victim;
+     Definition 5's temporal semantics makes successors wait for the
+     group, so rolled-back pivots never have executed successors.
+
+R5 — **Lemma 2 / cascading aborts**: a compensation may only execute
+     once every *later* conflicting activity of another active process
+     has itself been compensated; the scheduler triggers the cascading
+     aborts (§2.2's BOM-invalidation scenario) and thereby emits all
+     compensations in reverse conflict order.
+
+R6 — **Lemma 3**: forward-recovery (retriable) activities conflicting
+     with pending compensations are deferred behind them — implied by
+     R3/R5 plus the per-instance completion order.
+
+R7 — **commit ordering (Proc-REC 11.1)**: a process commits only after
+     every conflicting predecessor terminated.
+
+Deadlocks among deferrals are resolved by aborting a victim —
+preferably one with no hardened non-compensatable activity (its abort
+is pure rollback), falling back to a hardened one whose abort swaps the
+blocked remainder of its path for the guaranteed retriable
+forward-recovery path.  Guaranteed termination makes every abort clean.
+
+``paranoid=True`` re-validates the produced history against the
+*offline* checker after every recorded event (incrementally — only
+prefixes beyond the certified watermark are re-reduced, with a full
+re-check after native rollbacks, which rewrite the past); the property
+tests use it to certify the protocol.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.core.activity import ActivityDef, ActivityId, Direction
+from repro.core.conflict import ConflictRelation, NoConflicts, UnionConflicts
+from repro.core.instance import (
+    Action,
+    ActionType,
+    InstanceStatus,
+    ProcessInstance,
+)
+from repro.core.process import Process
+from repro.core.schedule import (
+    AbortEvent,
+    ActivityEvent,
+    CommitEvent,
+    ProcessSchedule,
+)
+from repro.errors import (
+    CorrectnessViolation,
+    ProcessAbortedError,
+    SchedulerClosedError,
+    SchedulerError,
+    TransactionAborted,
+    UnknownProcessError,
+    UnrecoverableStateError,
+)
+from repro.subsystems.failures import FailurePolicy, NoFailures
+from repro.subsystems.resource import WouldBlock
+from repro.subsystems.services import noop_service
+from repro.subsystems.subsystem import Subsystem, SubsystemRegistry
+from repro.subsystems.twophase import Participant, TwoPhaseCoordinator
+from repro.subsystems.wal import WriteAheadLog
+
+__all__ = [
+    "SchedulerRules",
+    "ManagedStatus",
+    "ManagedProcess",
+    "TransactionalProcessScheduler",
+]
+
+
+@dataclass(frozen=True)
+class SchedulerRules:
+    """Protocol rule switches (ablated by benchmark X6).
+
+    Disabling a rule removes the corresponding guarantee; the ablation
+    benchmark then counts how many produced histories the offline
+    checkers reject.
+    """
+
+    #: R3: defer non-compensatable activities conflicting with active
+    #: processes (Lemma 1.2).
+    defer_non_compensatable: bool = True
+    #: R2: defer requests that would close a serialization-graph cycle.
+    cycle_prevention: bool = True
+    #: R5: cascade-abort processes whose activities must be compensated
+    #: before a predecessor's compensation may run (Lemma 2).
+    cascading_aborts: bool = True
+    #: R7: order commits along the serialization graph (Proc-REC 11.1).
+    commit_ordering: bool = True
+    #: R4: 2PC-commit prepared pivot groups as soon as it is safe.
+    eager_hardening: bool = True
+    #: R4's safety condition: only harden when no conflicting active
+    #: predecessor remains — the literal content of Lemma 1 ("the
+    #: commits … have to be deferred … until P_i has committed").
+    #: Disabling this is the ablation that reproduces Example 8 live.
+    guard_hardening: bool = True
+    #: Validate the produced history with the offline PRED checker after
+    #: every recorded event (expensive; for certification tests).
+    paranoid: bool = False
+
+
+class ManagedStatus(enum.Enum):
+    """Scheduler-side lifecycle of a managed process."""
+
+    ACTIVE = "active"
+    WAITING = "waiting"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+    @property
+    def is_terminal(self) -> bool:
+        return self in (ManagedStatus.COMMITTED, ManagedStatus.ABORTED)
+
+
+@dataclass
+class _PreparedActivity:
+    """A non-compensatable activity held prepared in its subsystem."""
+
+    activity_name: str
+    subsystem: Subsystem
+    txn_id: str
+    log_position: int
+
+
+@dataclass
+class _LogEntry:
+    """One recorded activity event plus its runtime bookkeeping."""
+
+    event: ActivityEvent
+    #: The forward event this compensation cancels (compensations only).
+    compensates: Optional[int] = None
+    #: Set when a later compensation cancelled this forward event.
+    compensated: bool = False
+    #: Set when the prepared transaction was rolled back natively.
+    rolled_back: bool = False
+
+    @property
+    def is_effective(self) -> bool:
+        """Counts toward conflicts: present and not undone.
+
+        A forward event that has been compensated and the compensation
+        that cancelled it form an effect-free pair (Definition 2); the
+        protocol's cascade rule guarantees the pair cancels cleanly
+        under the compensation rule, so neither side contributes
+        conflict edges anymore.
+        """
+        if self.rolled_back:
+            return False
+        if self.event.is_compensation:
+            return self.compensates is None
+        return not self.compensated
+
+    @property
+    def process_id(self) -> str:
+        return self.event.process_id
+
+
+@dataclass
+class ManagedProcess:
+    """Scheduler-side state for one submitted process instance."""
+
+    instance: ProcessInstance
+    failures: FailurePolicy
+    status: ManagedStatus = ManagedStatus.ACTIVE
+    #: Process ids whose termination this instance currently waits for.
+    waiting_for: FrozenSet[str] = frozenset()
+    waiting_reason: str = ""
+    prepared: List[_PreparedActivity] = field(default_factory=list)
+    #: Non-compensatable activities whose subsystem commit went through.
+    hardened: Set[str] = field(default_factory=set)
+    #: Log positions of this process's events, in order.
+    log_positions: List[int] = field(default_factory=list)
+    #: Set while the scheduler executes a requested/cascaded abort.
+    abort_pending: bool = False
+    abort_reason: str = ""
+    #: Memoised ``(trace_length, completion)`` for admission checks.
+    _completion_cache: Optional[Tuple[int, object]] = None
+
+    @property
+    def process_id(self) -> str:
+        return self.instance.instance_id
+
+    @property
+    def is_hardened(self) -> bool:
+        """``True`` once any non-compensatable activity committed — the
+        process is then in ``F-REC`` and no longer a cheap victim."""
+        return bool(self.hardened)
+
+
+class TransactionalProcessScheduler:
+    """Synchronous reactor scheduling transactional processes.
+
+    Usage::
+
+        registry = SubsystemRegistry([...])
+        scheduler = TransactionalProcessScheduler(registry, conflicts)
+        scheduler.submit(process_a)
+        scheduler.submit(process_b, failures=FailurePlan.fail_once(["x"]))
+        scheduler.run()
+        history = scheduler.history()      # a certified ProcessSchedule
+
+    The scheduler interleaves processes round-robin (override with
+    ``interleaving``), applying the admission rules R1-R7 before every
+    activity dispatch.  :meth:`step` advances a single dispatch, which
+    the discrete-event simulation uses to drive virtual time.
+    """
+
+    _instance_ids = itertools.count(1)
+
+    def __init__(
+        self,
+        registry: Optional[SubsystemRegistry] = None,
+        conflicts: Optional[ConflictRelation] = None,
+        rules: Optional[SchedulerRules] = None,
+        wal: Optional[WriteAheadLog] = None,
+        use_semantic_conflicts: bool = True,
+        auto_provision: bool = True,
+        interleaving: Optional[Callable[[List[str]], List[str]]] = None,
+    ) -> None:
+        self.registry = registry if registry is not None else SubsystemRegistry()
+        self.rules = rules if rules is not None else SchedulerRules()
+        self.wal = wal
+        self._auto_provision = auto_provision
+        explicit = conflicts if conflicts is not None else NoConflicts()
+        if use_semantic_conflicts:
+            self.conflicts: ConflictRelation = UnionConflicts(
+                (explicit, self.registry.semantic_conflicts())
+            )
+        else:
+            self.conflicts = explicit
+        self._managed: Dict[str, ManagedProcess] = {}
+        self._log: List[_LogEntry] = []
+        self._coordinator = TwoPhaseCoordinator(wal=wal)
+        self._interleaving = interleaving or (lambda ids: ids)
+        self._closed = False
+        #: ``("activity", log_position)`` / ``("termination", event)``
+        #: entries in global execution order — the source of
+        #: :meth:`history`.
+        self._timeline: List[Tuple[str, object]] = []
+        self._termination_order: List[object] = []
+        #: Paranoid-mode watermark: prefixes below it are certified.
+        self._paranoid_upto = 0
+        #: Memoised process conflict graph; invalidated on log changes.
+        self._edges_cache: Optional[Dict[str, Set[str]]] = None
+        #: Observers notified of scheduler events (see add_listener).
+        self._listeners: List[Callable[[str, Dict[str, object]], None]] = []
+        #: Diagnostic counters surfaced by benchmarks.
+        self.stats: Dict[str, int] = {
+            "dispatched": 0,
+            "deferred": 0,
+            "victim_aborts": 0,
+            "cascading_aborts": 0,
+            "hardenings": 0,
+            "2pc_groups": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        process: Process,
+        instance_id: Optional[str] = None,
+        failures: Optional[FailurePolicy] = None,
+    ) -> str:
+        """Admit a process for execution; returns its instance id.
+
+        Only well-formed processes (guaranteed termination) are
+        admitted — :class:`~repro.core.instance.ProcessInstance`
+        validates the flex structure on construction.
+        """
+        if self._closed:
+            raise SchedulerClosedError("scheduler has been shut down")
+        identifier = instance_id or (
+            f"{process.process_id}#{next(self._instance_ids)}"
+            if process.process_id in self._managed
+            else process.process_id
+        )
+        if identifier in self._managed:
+            raise SchedulerError(f"instance id {identifier!r} already in use")
+        if self._auto_provision:
+            self._provision_services(process)
+        process = process.renamed(identifier)
+        managed = ManagedProcess(
+            instance=ProcessInstance(process, instance_id=identifier),
+            failures=failures or NoFailures(),
+        )
+        self._managed[identifier] = managed
+        self._edges_cache = None
+        self._wal({"type": "process_submit", "process": identifier})
+        return identifier
+
+    def _provision_services(self, process: Process) -> None:
+        """Register no-op services for activities lacking a provider.
+
+        Abstract scenarios (the paper's figures) declare activities with
+        conflicts but without real services; provisioning keeps them
+        runnable without boilerplate.
+        """
+        for definition in process.activities():
+            subsystem = self._subsystem_for(definition, create=True)
+            service = definition.service
+            assert service is not None
+            if not subsystem.provides(service):
+                subsystem.register(noop_service(service))
+            if definition.is_compensatable:
+                inverse = definition.compensation_service
+                assert inverse is not None
+                if not subsystem.provides(inverse):
+                    subsystem.register(noop_service(inverse))
+
+    def _subsystem_for(self, definition: ActivityDef, create: bool = False) -> Subsystem:
+        name = definition.subsystem
+        if name in self.registry:
+            return self.registry.get(name)
+        service = definition.service
+        assert service is not None
+        for subsystem in self.registry.subsystems():
+            if subsystem.provides(service):
+                return subsystem
+        if create:
+            subsystem = Subsystem(name)
+            self.registry.add(subsystem)
+            return subsystem
+        raise SchedulerError(
+            f"no subsystem for activity {definition.name!r} "
+            f"(subsystem {name!r}, service {service!r})"
+        )
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def managed(self, instance_id: str) -> ManagedProcess:
+        try:
+            return self._managed[instance_id]
+        except KeyError:
+            raise UnknownProcessError(
+                f"no managed process {instance_id!r}"
+            ) from None
+
+    def statuses(self) -> Dict[str, ManagedStatus]:
+        return {pid: managed.status for pid, managed in self._managed.items()}
+
+    def instance_ids(self) -> List[str]:
+        return list(self._managed)
+
+    def is_terminated(self, instance_id: str) -> bool:
+        return self.managed(instance_id).status.is_terminal
+
+    def all_terminated(self) -> bool:
+        return all(
+            managed.status.is_terminal for managed in self._managed.values()
+        )
+
+    def history(self) -> ProcessSchedule:
+        """The certified schedule produced so far.
+
+        Contains every committed activity event (rolled-back prepared
+        invocations are excluded — they never happened, atomically
+        speaking) plus the termination events, in execution order.
+        """
+        schedule = ProcessSchedule(
+            (managed.instance.process for managed in self._managed.values()),
+            self.conflicts,
+        )
+        for kind, payload in self._timeline:
+            if kind == "activity":
+                entry = self._log[payload]  # type: ignore[index]
+                if not entry.rolled_back:
+                    schedule.append(entry.event)
+            else:
+                schedule.append(payload)  # type: ignore[arg-type]
+        return schedule
+
+    def timeline_length(self) -> int:
+        """Number of timeline entries (simulation hook)."""
+        return len(self._timeline)
+
+    def timeline_event(self, index: int):
+        """The event at a timeline position (simulation hook)."""
+        kind, payload = self._timeline[index]
+        if kind == "activity":
+            return self._log[payload].event  # type: ignore[index]
+        return payload
+
+    def step_instance(self, instance_id: str) -> bool:
+        """Alias of :meth:`step` (uniform driver interface)."""
+        return self.step(instance_id)
+
+    def resolve_stall(self) -> None:
+        """Public stall hook for external drivers (victim abort)."""
+        self._resolve_stall()
+
+    # ------------------------------------------------------------------
+    # the scheduling loop
+    # ------------------------------------------------------------------
+
+    def run(self, max_rounds: int = 100_000) -> ProcessSchedule:
+        """Run until every submitted process terminated.
+
+        Returns the produced history.  Raises
+        :class:`UnrecoverableStateError` if no progress is possible and
+        no abort victim can be found (a protocol bug by construction).
+        """
+        rounds = 0
+        while not self.all_terminated():
+            rounds += 1
+            if rounds > max_rounds:
+                raise SchedulerError(
+                    f"no convergence after {max_rounds} scheduling rounds"
+                )
+            progressed = self.step_round()
+            if not progressed:
+                self._resolve_stall()
+        return self.history()
+
+    def step_round(self) -> bool:
+        """One round-robin pass; returns whether any instance progressed."""
+        progressed = False
+        order = self._interleaving(
+            [
+                pid
+                for pid, managed in self._managed.items()
+                if not managed.status.is_terminal
+            ]
+        )
+        for pid in order:
+            managed = self._managed.get(pid)
+            if managed is None or managed.status.is_terminal:
+                continue
+            if self.step(pid):
+                progressed = True
+        return progressed
+
+    def step(self, instance_id: str) -> bool:
+        """Try to advance one instance by one action; returns progress."""
+        managed = self.managed(instance_id)
+        if managed.status.is_terminal:
+            return False
+        action = managed.instance.next_action()
+        if action.type is ActionType.FINISHED:
+            return self._try_terminate(managed)
+        if action.type is ActionType.COMPENSATE:
+            return self._try_compensate(managed, action)
+        return self._try_invoke(managed, action)
+
+    # -- admission: forward activities -----------------------------------
+
+    def _try_invoke(self, managed: ManagedProcess, action: Action) -> bool:
+        assert action.activity is not None
+        definition = managed.instance.definition(action.activity)
+        pid = managed.process_id
+
+        # Definition 5's temporal semantics: a successor may only start
+        # after its predecessors *committed*.  While the process has a
+        # prepared (deferred-commit, Lemma 1) non-compensatable group,
+        # its continuation waits for that group to harden — which also
+        # guarantees that a natively rolled-back pivot never has executed
+        # successors, keeping every produced history a legal execution.
+        # Without eager hardening the gate itself commits the group
+        # lazily once Lemma 1's condition is met.
+        if managed.prepared:
+            blockers = self._active_predecessors(pid)
+            if not blockers or not self.rules.guard_hardening:
+                if self._harden(managed):
+                    blockers = set()
+            if managed.prepared:
+                self._defer(
+                    managed,
+                    blockers,
+                    f"deferred commit: {action.activity!r} waits for the "
+                    f"prepared group "
+                    f"{[p.activity_name for p in managed.prepared]} to commit",
+                )
+                return False
+
+        conflicting = self._conflicting_predecessors(pid, definition.service)
+        active_conflicts = {
+            other_pid
+            for other_pid, _ in conflicting
+            if not self._managed[other_pid].status.is_terminal
+        }
+
+        # R5/R6: conflicting predecessors that are currently recovering
+        # will compensate their activities; wait for them (Lemma 3).
+        recovering = {
+            other_pid
+            for other_pid in active_conflicts
+            if self._managed[other_pid].instance.status
+            in (InstanceStatus.RECOVERING, InstanceStatus.SWITCHING)
+        }
+        if recovering and self.rules.cascading_aborts:
+            self._defer(
+                managed,
+                recovering,
+                f"recovery priority: {sorted(recovering)} compensate before "
+                f"{action.activity!r} may run",
+            )
+            return False
+
+        # R3 (Lemma 1): every non-compensatable activity of P_j must
+        # succeed the commit C_i of each process P_i that has a conflict
+        # edge into P_j — whether from an earlier conflicting pair or
+        # created by this very request.  Executing it earlier would let
+        # P_i's recovery compensate an activity P_j's pivot depends on,
+        # closing an irreducible cycle (Example 8), and would violate
+        # Proc-REC 11.2's ordering of state-determining activities.
+        if self.rules.defer_non_compensatable and not definition.is_compensatable:
+            predecessors = self._active_predecessors(pid) | active_conflicts
+            if predecessors:
+                self._defer(
+                    managed,
+                    predecessors,
+                    f"Lemma 1: non-compensatable {action.activity!r} "
+                    f"deferred until active conflict predecessors "
+                    f"{sorted(predecessors)} commit",
+                )
+                return False
+
+        # R2: never close a cycle — neither among the recorded conflict
+        # edges nor through the forward-recovery paths that completing
+        # the prefix would force (paper §3.5: the completed schedule of
+        # every prefix must stay reducible, and completions introduce
+        # conflicts S itself does not show).
+        if self.rules.cycle_prevention:
+            cycle = self._completion_cycle(managed, action.activity, definition)
+            if cycle:
+                self._defer(
+                    managed,
+                    cycle - {pid},
+                    f"cycle prevention: executing {action.activity!r} would "
+                    f"make the completed prefix irreducible (cycle "
+                    f"{sorted(cycle)})",
+                )
+                return False
+
+        # Execute at the subsystem; non-compensatable activities are
+        # held prepared (R4, deferred commit).
+        subsystem = self._subsystem_for(definition)
+        hold = not definition.is_compensatable
+        try:
+            invocation = subsystem.invoke(
+                definition.service,  # type: ignore[arg-type]
+                params=definition.params,
+                hold=hold,
+                attempt=action.attempt,
+                failures=managed.failures,
+            )
+        except WouldBlock as block:
+            holders = self._processes_holding(block.holders) - {pid}
+            self._defer(
+                managed,
+                holders or set(block.holders),
+                f"lock wait on {block.key!r} held by {sorted(holders)}",
+            )
+            return False
+        except TransactionAborted:
+            managed.instance.on_failed(action.activity)
+            self._clear_wait(managed)
+            self._notify(
+                "failed",
+                process=pid,
+                activity=action.activity,
+                attempt=action.attempt,
+            )
+            self._wal(
+                {
+                    "type": "activity_failed",
+                    "process": pid,
+                    "activity": action.activity,
+                    "attempt": action.attempt,
+                }
+            )
+            return True
+
+        position = self._record_event(managed, action.activity, Direction.FORWARD)
+        if hold:
+            managed.prepared.append(
+                _PreparedActivity(
+                    activity_name=action.activity,
+                    subsystem=subsystem,
+                    txn_id=invocation.txn_id,
+                    log_position=position,
+                )
+            )
+        managed.instance.on_committed(action.activity)
+        self._clear_wait(managed)
+        self.stats["dispatched"] += 1
+        self._after_event()
+        return True
+
+    # -- admission: compensations ------------------------------------------
+
+    def _try_compensate(self, managed: ManagedProcess, action: Action) -> bool:
+        assert action.activity is not None
+        definition = managed.instance.definition(action.activity)
+        pid = managed.process_id
+
+        # R5 (Lemma 2): every later conflicting, still-effective activity
+        # of another active process must be compensated first — trigger
+        # the cascading aborts and wait.
+        forward_position = self._last_effective_position(pid, action.activity)
+        dependents = self._conflicting_successors(
+            pid, definition.service, forward_position
+        )
+        if dependents and self.rules.cascading_aborts:
+            cascaded = False
+            for other_pid in sorted(dependents):
+                other = self._managed[other_pid]
+                if not other.abort_pending and not other.status.is_terminal:
+                    self._begin_abort(
+                        other,
+                        reason=(
+                            f"cascading abort: {pid} compensates "
+                            f"{action.activity!r} which {other_pid} depends on"
+                        ),
+                        cascade=True,
+                    )
+                    cascaded = True
+            self._defer(
+                managed,
+                dependents,
+                f"Lemma 2: dependents {sorted(dependents)} must compensate "
+                f"before {action.activity!r}^-1",
+            )
+            # Triggering a cascade is progress even though this
+            # compensation itself must wait.
+            return cascaded
+
+        subsystem = self._subsystem_for(definition)
+        inverse = definition.compensation_service
+        assert inverse is not None
+        try:
+            subsystem.invoke(
+                inverse,
+                params=definition.params,
+                hold=False,
+                attempt=action.attempt,
+                failures=managed.failures,
+            )
+        except WouldBlock as block:
+            holders = self._processes_holding(block.holders) - {pid}
+            self._defer(
+                managed,
+                holders or set(block.holders),
+                f"compensation lock wait on {block.key!r}",
+            )
+            return False
+        except TransactionAborted:
+            # Compensations are retriable by definition: count the
+            # failure and try again next round.
+            managed.instance.on_failed(action.activity)
+            self._wal(
+                {
+                    "type": "compensation_failed",
+                    "process": pid,
+                    "activity": action.activity,
+                    "attempt": action.attempt,
+                }
+            )
+            return True
+
+        self._record_event(managed, action.activity, Direction.COMPENSATION)
+        managed.instance.on_committed(action.activity)
+        self._clear_wait(managed)
+        self._after_event()
+        return True
+
+    # -- termination --------------------------------------------------------
+
+    def _try_terminate(self, managed: ManagedProcess) -> bool:
+        pid = managed.process_id
+        final = managed.instance.status
+        if final is InstanceStatus.COMMITTED:
+            # R7: wait for all conflicting predecessors to terminate.
+            if self.rules.commit_ordering:
+                predecessors = self._active_predecessors(pid)
+                if predecessors:
+                    self._defer(
+                        managed,
+                        predecessors,
+                        f"commit ordering: C({pid}) waits for "
+                        f"{sorted(predecessors)}",
+                    )
+                    return False
+            if not self._harden(managed):
+                return False
+            managed.status = ManagedStatus.COMMITTED
+            self._timeline.append(("termination", CommitEvent(pid)))
+            self._termination_order.append(CommitEvent(pid))
+            self._notify("terminated", process=pid, status="committed")
+            self._wal({"type": "process_commit", "process": pid})
+        else:
+            # B-REC abort: roll back any prepared (never-hardened)
+            # non-compensatable invocations natively.
+            self._rollback_prepared(managed)
+            managed.status = ManagedStatus.ABORTED
+            self._timeline.append(("termination", AbortEvent(pid)))
+            self._termination_order.append(AbortEvent(pid))
+            self._notify("terminated", process=pid, status="aborted")
+            self._wal({"type": "process_abort", "process": pid})
+        self._clear_wait(managed)
+        self._after_event(validate=False)
+        return True
+
+    # -- aborts ----------------------------------------------------------------
+
+    def abort(self, instance_id: str, reason: str = "requested") -> None:
+        """Request the abort of a process (guaranteed-termination abort).
+
+        The completion ``C(P)`` executes through the normal scheduling
+        loop; call :meth:`run` (or keep stepping) to drain it.
+        """
+        managed = self.managed(instance_id)
+        if managed.status.is_terminal:
+            raise ProcessAbortedError(instance_id, "already terminated")
+        self._begin_abort(managed, reason=reason, cascade=False)
+
+    def _begin_abort(
+        self, managed: ManagedProcess, reason: str, cascade: bool
+    ) -> None:
+        # Until C_i is recorded the process counts as active
+        # (Definition 8 2(b)) — a logically finished instance can still
+        # be caught by a cascading abort and re-enters recovery.
+        if managed.abort_pending or managed.status.is_terminal:
+            return
+        managed.abort_pending = True
+        managed.abort_reason = reason
+        self._notify(
+            "abort_begun",
+            process=managed.process_id,
+            reason=reason,
+            cascade=cascade,
+        )
+        if cascade:
+            self.stats["cascading_aborts"] += 1
+        hardened = frozenset(managed.hardened)
+        # Prepared-but-unhardened non-compensatables are rolled back
+        # natively, so the completion must not forward-recover past them.
+        self._rollback_prepared(managed)
+        managed.instance.request_abort(hardened=hardened)
+        self._clear_wait(managed)
+        self._wal(
+            {
+                "type": "abort_requested",
+                "process": managed.process_id,
+                "reason": reason,
+                "cascade": cascade,
+            }
+        )
+
+    def _rollback_prepared(self, managed: ManagedProcess) -> None:
+        if managed.prepared:
+            # Rolling back rewrites the recorded past: every prefix must
+            # be re-certified in paranoid mode, and the conflict graph
+            # must be rebuilt.
+            self._paranoid_upto = 0
+            self._edges_cache = None
+        for prepared in managed.prepared:
+            prepared.subsystem.rollback_prepared(prepared.txn_id)
+            self._log[prepared.log_position].rolled_back = True
+            self._wal(
+                {
+                    "type": "activity_rollback",
+                    "process": managed.process_id,
+                    "activity": prepared.activity_name,
+                    "txn": prepared.txn_id,
+                }
+            )
+        managed.prepared.clear()
+
+    # -- hardening (R4) -----------------------------------------------------------
+
+    def _maybe_harden_all(self) -> None:
+        if not self.rules.eager_hardening:
+            return
+        for managed in self._managed.values():
+            # Aborting processes harden too: the retriable activities of
+            # an F-REC completion are prepared like any other
+            # non-compensatable work and must eventually commit.
+            if managed.status.is_terminal or not managed.prepared:
+                continue
+            if self.rules.guard_hardening and self._active_predecessors(
+                managed.process_id
+            ):
+                continue
+            # Hardening never changes the certified (offline) view —
+            # admission already counted the prepared group as committed
+            # when the activities executed — so it is always safe here.
+            self._harden(managed)
+
+    def _harden(self, managed: ManagedProcess) -> bool:
+        """2PC-commit the process's prepared group; returns success."""
+        if not managed.prepared:
+            return True
+        participants = [
+            Participant(prepared.subsystem, prepared.txn_id)
+            for prepared in managed.prepared
+        ]
+        group = self._coordinator.commit_group(
+            participants, group_id=f"harden:{managed.process_id}"
+        )
+        self.stats["2pc_groups"] += 1
+        if not group.committed:
+            # A vetoed group is rolled back by the coordinator; the
+            # invocations never happened, so the process aborts.
+            for prepared in managed.prepared:
+                self._log[prepared.log_position].rolled_back = True
+            managed.prepared.clear()
+            self._begin_abort(
+                managed,
+                reason=f"2PC group vetoed by {group.veto}",
+                cascade=False,
+            )
+            return False
+        for prepared in managed.prepared:
+            managed.hardened.add(prepared.activity_name)
+        managed.prepared.clear()
+        self.stats["hardenings"] += 1
+        self._notify(
+            "hardened",
+            process=managed.process_id,
+            group=group.group_id,
+        )
+        self._wal(
+            {
+                "type": "hardened",
+                "process": managed.process_id,
+                "group": group.group_id,
+            }
+        )
+        return True
+
+    # -- stall resolution ----------------------------------------------------------
+
+    def _resolve_stall(self) -> None:
+        """No instance progressed: break a deferral deadlock.
+
+        Victim selection: a non-terminal, non-hardened process on a
+        wait cycle (preferring fewest effective events); non-hardened
+        processes are effectively in ``B-REC`` (their pivots are merely
+        prepared) so their abort is pure backward recovery.
+        """
+        waiting = {
+            pid: managed
+            for pid, managed in self._managed.items()
+            if not managed.status.is_terminal
+        }
+        if not waiting:
+            return
+        cycle = self._find_wait_cycle(waiting)
+        candidates = cycle if cycle else set(waiting)
+        # Prefer an effectively backward-recoverable victim (nothing
+        # hardened: its abort is pure rollback); fall back to a hardened
+        # one, whose abort replaces the remaining — possibly blocked —
+        # path by its guaranteed retriable forward-recovery path.
+        victims = [
+            waiting[pid]
+            for pid in sorted(candidates)
+            if not waiting[pid].is_hardened and not waiting[pid].abort_pending
+        ]
+        if not victims:
+            victims = [
+                waiting[pid]
+                for pid in sorted(candidates)
+                if not waiting[pid].abort_pending
+            ]
+        if not victims:
+            raise UnrecoverableStateError(
+                f"stalled with no abortable victim; waits: "
+                f"{ {pid: sorted(m.waiting_for) for pid, m in waiting.items()} }"
+            )
+        victim = min(
+            victims, key=lambda managed: len(managed.log_positions)
+        )
+        self.stats["victim_aborts"] += 1
+        self._notify(
+            "victim",
+            process=victim.process_id,
+            cycle=sorted(candidates),
+        )
+        self._begin_abort(
+            victim,
+            reason=f"deadlock victim (cycle {sorted(candidates)})",
+            cascade=False,
+        )
+
+    def _find_wait_cycle(
+        self, waiting: Mapping[str, ManagedProcess]
+    ) -> Set[str]:
+        graph = {
+            pid: {
+                target
+                for target in managed.waiting_for
+                if target in waiting
+            }
+            for pid, managed in waiting.items()
+        }
+        # Iteratively strip nodes with no outgoing wait edges into live
+        # nodes; what remains participates in (or feeds) a cycle.
+        changed = True
+        nodes = set(graph)
+        while changed:
+            changed = False
+            for node in list(nodes):
+                if not (graph[node] & nodes):
+                    nodes.discard(node)
+                    changed = True
+        return nodes
+
+    # -- dependency graph ------------------------------------------------------------
+
+    def _conflicting_predecessors(
+        self, pid: str, service: Optional[str]
+    ) -> List[Tuple[str, int]]:
+        """Effective events of other processes conflicting with ``service``."""
+        assert service is not None
+        found: List[Tuple[str, int]] = []
+        for position, entry in enumerate(self._log):
+            if entry.process_id == pid or not entry.is_effective:
+                continue
+            if self.conflicts.conflicts(entry.event.conflict_service, service):
+                found.append((entry.process_id, position))
+        return found
+
+    def _conflicting_successors(
+        self, pid: str, service: Optional[str], after: Optional[int]
+    ) -> Set[str]:
+        """Processes whose conflicting work after ``after`` blocks a
+        compensation at that position (Lemma 2's precondition).
+
+        A later *forward* event blocks until it is compensated itself.
+        A later *compensation* event blocks only if its own forward
+        partner lies at or before ``after`` — a pair entirely inside the
+        interval cancels first under the compensation rule and is no
+        obstacle to reduction.
+        """
+        assert service is not None
+        start = -1 if after is None else after
+        dependents: Set[str] = set()
+        for position, entry in enumerate(self._log):
+            if position <= start or entry.process_id == pid:
+                continue
+            if not entry.is_effective:
+                continue
+            if (
+                entry.event.is_compensation
+                and entry.compensates is not None
+                and entry.compensates > start
+            ):
+                continue
+            other = self._managed[entry.process_id]
+            if other.status.is_terminal:
+                continue
+            if self.conflicts.conflicts(entry.event.conflict_service, service):
+                dependents.add(entry.process_id)
+        return dependents
+
+    def _last_effective_position(
+        self, pid: str, activity_name: str
+    ) -> Optional[int]:
+        for position in range(len(self._log) - 1, -1, -1):
+            entry = self._log[position]
+            if (
+                entry.process_id == pid
+                and entry.event.activity.activity_name == activity_name
+                and not entry.event.is_compensation
+                and not entry.rolled_back
+                and not entry.compensated
+            ):
+                return position
+        return None
+
+    def _edges(self) -> Dict[str, Set[str]]:
+        """Current process serialization graph over effective events.
+
+        Memoised: every call between two log mutations returns the same
+        graph object (callers only read it, or copy before extending).
+        """
+        if self._edges_cache is not None:
+            return self._edges_cache
+        graph: Dict[str, Set[str]] = {pid: set() for pid in self._managed}
+        effective = [
+            entry for entry in self._log if entry.is_effective
+        ]
+        for left_index in range(len(effective)):
+            left = effective[left_index]
+            for right_index in range(left_index + 1, len(effective)):
+                right = effective[right_index]
+                if left.process_id == right.process_id:
+                    continue
+                if self.conflicts.conflicts(
+                    left.event.conflict_service, right.event.conflict_service
+                ):
+                    graph[left.process_id].add(right.process_id)
+        self._edges_cache = graph
+        return graph
+
+    def _has_path(self, source: str, target: str) -> bool:
+        if source == target:
+            return False
+        graph = self._edges()
+        seen: Set[str] = set()
+        stack = [source]
+        while stack:
+            current = stack.pop()
+            if current == target:
+                return True
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(graph.get(current, ()))
+        return False
+
+    def _completion_of(self, managed: ManagedProcess):
+        """The instance's completion, memoised per trace length.
+
+        Admission consults every active process's completion on every
+        request; the completion only changes when the instance's trace
+        does, so a (length, value) memo eliminates the repeated tree
+        walks.
+        """
+        length = len(managed.instance.trace())
+        cached = managed._completion_cache
+        if cached is not None and cached[0] == length:
+            return cached[1]
+        completion = managed.instance.completion()
+        managed._completion_cache = (length, completion)
+        return completion
+
+    def _forward_services(
+        self,
+        hypothetical_pid: Optional[str] = None,
+        hypothetical_activity: Optional[str] = None,
+    ) -> Dict[str, Set[str]]:
+        """Per active process: services its completion would still run.
+
+        These are the forward-recovery activities Definition 8 forces
+        into the completed schedule of the current prefix — conflicts
+        with them are the "conflicts not known from S alone" of §3.5.
+        For the requesting process the completion is evaluated *after*
+        the hypothetical activity, since admission decides the post-state.
+        """
+        forward: Dict[str, Set[str]] = {}
+        for other_pid, other in self._managed.items():
+            if other.status.is_terminal:
+                continue
+            # Completions are evaluated with every executed activity
+            # counted as committed (hardened=None): the recorded history
+            # cannot express "prepared", so the offline certifier sees
+            # exactly this view and admission must match it.
+            if other_pid == hypothetical_pid and hypothetical_activity:
+                completion = other.instance.hypothetical_completion(
+                    hypothetical_activity
+                )
+            else:
+                completion = self._completion_of(other)
+            services = set()
+            for name in completion.forward:
+                service = other.instance.definition(name).service
+                assert service is not None
+                services.add(service)
+            if services:
+                forward[other_pid] = services
+        return forward
+
+    def _completion_cycle(
+        self,
+        managed: ManagedProcess,
+        activity_name: str,
+        definition: ActivityDef,
+    ) -> Set[str]:
+        """Processes on a cycle the hypothetical execution would force.
+
+        The graph combines (a) the real conflict edges over effective
+        events including the hypothetical one, and (b) *potential* edges
+        ``P → Q`` for every executed effective event of ``P`` conflicting
+        with a forward-recovery service of active ``Q`` — that order is
+        forced in the completed schedule of the resulting prefix.
+        Returns the cycle's nodes (empty when the prefix stays safe).
+        """
+        pid = managed.process_id
+        edges = {
+            source: set(targets) for source, targets in self._edges().items()
+        }
+        for other_pid, _ in self._conflicting_predecessors(pid, definition.service):
+            edges.setdefault(other_pid, set()).add(pid)
+
+        forward = self._forward_services(pid, activity_name)
+        executed: List[Tuple[str, str]] = [
+            (entry.process_id, entry.event.conflict_service)
+            for entry in self._log
+            if entry.is_effective
+        ]
+        executed.append((pid, definition.service))  # type: ignore[arg-type]
+        for src_pid, src_service in executed:
+            for dst_pid, services in forward.items():
+                if dst_pid == src_pid or dst_pid in edges.get(src_pid, ()):
+                    continue
+                if any(
+                    self.conflicts.conflicts(src_service, target)
+                    for target in services
+                ):
+                    edges.setdefault(src_pid, set()).add(dst_pid)
+
+        # A new cycle must pass through the requesting process.
+        return self._cycle_through(edges, pid)
+
+    @staticmethod
+    def _cycle_through(edges: Dict[str, Set[str]], pid: str) -> Set[str]:
+        """Nodes of a cycle through ``pid`` in ``edges``, if any."""
+        # DFS from pid back to pid, tracking the path.
+        stack: List[Tuple[str, List[str]]] = [
+            (target, [pid]) for target in sorted(edges.get(pid, ()))
+        ]
+        seen: Set[str] = set()
+        while stack:
+            current, path = stack.pop()
+            if current == pid:
+                return set(path)
+            if current in seen:
+                continue
+            seen.add(current)
+            for target in sorted(edges.get(current, ())):
+                stack.append((target, path + [current]))
+        return set()
+
+    def _active_predecessors(self, pid: str) -> Set[str]:
+        """Active processes with a conflict edge into ``pid``."""
+        graph = self._edges()
+        return {
+            other_pid
+            for other_pid, targets in graph.items()
+            if pid in targets
+            and other_pid != pid
+            and not self._managed[other_pid].status.is_terminal
+        }
+
+    def _processes_holding(self, txn_ids: FrozenSet[str]) -> Set[str]:
+        owners: Set[str] = set()
+        for managed in self._managed.values():
+            for prepared in managed.prepared:
+                if prepared.txn_id in txn_ids:
+                    owners.add(managed.process_id)
+        return owners
+
+    # -- bookkeeping --------------------------------------------------------------------
+
+    def _record_event(
+        self, managed: ManagedProcess, activity_name: str, direction: Direction
+    ) -> int:
+        process = managed.instance.process
+        definition = process.activity(activity_name)
+        if direction is Direction.COMPENSATION:
+            service = definition.compensation_service
+        else:
+            service = definition.service
+        assert service is not None
+        event = ActivityEvent(
+            activity=ActivityId(managed.process_id, activity_name, direction),
+            service=service,
+            conflict_service=definition.service,  # type: ignore[arg-type]
+            kind=definition.kind,
+            effect_free=definition.effect_free,
+        )
+        entry = _LogEntry(event=event)
+        position = len(self._log)
+        self._edges_cache = None
+        if direction is Direction.COMPENSATION:
+            forward_position = self._last_effective_position(
+                managed.process_id, activity_name
+            )
+            if forward_position is not None:
+                entry.compensates = forward_position
+                self._log[forward_position].compensated = True
+        self._log.append(entry)
+        managed.log_positions.append(position)
+        self._timeline.append(("activity", position))
+        self._notify(
+            "activity",
+            process=managed.process_id,
+            activity=activity_name,
+            direction=direction.exponent,
+        )
+        self._wal(
+            {
+                "type": "activity_commit",
+                "process": managed.process_id,
+                "activity": activity_name,
+                "direction": direction.exponent,
+                "service": service,
+                "prepared": not definition.is_compensatable
+                and direction is Direction.FORWARD,
+            }
+        )
+        return position
+
+    def _defer(
+        self, managed: ManagedProcess, waiting_for: Set[str], reason: str
+    ) -> None:
+        managed.status = ManagedStatus.WAITING
+        managed.waiting_for = frozenset(waiting_for)
+        managed.waiting_reason = reason
+        self.stats["deferred"] += 1
+        self._notify(
+            "deferred",
+            process=managed.process_id,
+            waiting_for=sorted(waiting_for),
+            reason=reason,
+        )
+
+    def _clear_wait(self, managed: ManagedProcess) -> None:
+        if managed.status is ManagedStatus.WAITING:
+            managed.status = ManagedStatus.ACTIVE
+        managed.waiting_for = frozenset()
+        managed.waiting_reason = ""
+
+    def _after_event(self, validate: bool = True) -> None:
+        self._maybe_harden_all()
+        if validate and self.rules.paranoid:
+            self._paranoid_check()
+
+    def _paranoid_check(self) -> None:
+        """Certify the produced history against the offline checker.
+
+        Incremental: appending an event leaves all earlier prefixes
+        unchanged, so only the prefixes beyond the certified watermark
+        are re-reduced.  A native rollback rewrites the past (the
+        rolled-back event vanishes from every prefix), which resets the
+        watermark to zero — :meth:`_rollback_prepared` does that.
+        """
+        history = self.history()
+        from repro.core.reduction import reduce_schedule
+
+        for length in range(self._paranoid_upto, len(history) + 1):
+            result = reduce_schedule(history.prefix(length))
+            if not result.is_reducible:
+                raise CorrectnessViolation(
+                    f"paranoid check failed: prefix of length {length} of "
+                    f"the produced history is not reducible ({result})"
+                )
+        self._paranoid_upto = len(history) + 1
+
+    def _wal(self, record: Dict[str, object]) -> None:
+        if self.wal is not None:
+            self.wal.append(record)
+
+    # ------------------------------------------------------------------
+    # instrumentation
+    # ------------------------------------------------------------------
+
+    def add_listener(
+        self, listener: Callable[[str, Dict[str, object]], None]
+    ) -> None:
+        """Subscribe to scheduler events.
+
+        The listener receives ``(kind, payload)`` pairs for:
+        ``activity`` (an effectful event was recorded), ``failed`` (an
+        invocation aborted), ``deferred`` (a request was postponed),
+        ``hardened`` (a 2PC group committed), ``abort_begun`` (a process
+        entered recovery, with ``cascade`` flag), ``victim`` (deadlock
+        resolution chose a victim), ``terminated`` (a process reached a
+        terminal status).  Exceptions raised by listeners propagate —
+        instrumentation is trusted code.
+        """
+        self._listeners.append(listener)
+
+    def _notify(self, kind: str, **payload: object) -> None:
+        for listener in self._listeners:
+            listener(kind, dict(payload))
+
+    # ------------------------------------------------------------------
+    # crash simulation
+    # ------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Simulate a scheduler crash: volatile state is abandoned.
+
+        Subsystem state (stores, prepared transactions) and the WAL
+        survive; use :func:`repro.subsystems.recovery.recover` to bring
+        the system back to a consistent state.
+        """
+        self._closed = True

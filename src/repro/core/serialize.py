@@ -1,0 +1,238 @@
+"""JSON (de)serialization of processes, conflicts and schedules.
+
+A workflow system persists its process repository: restart recovery
+(:mod:`repro.subsystems.recovery`) needs the templates of every process
+the write-ahead log references.  This module provides stable, versioned
+dictionary encodings plus JSON helpers:
+
+* :func:`process_to_dict` / :func:`process_from_dict` — the full
+  ``(A, ≪, ◁)`` structure including per-activity services, subsystems,
+  compensation services and parameters;
+* :func:`conflicts_to_dict` / :func:`conflicts_from_dict` — explicit
+  conflict relations (semantic ones are re-derived from services);
+* :func:`schedule_to_dict` / :func:`schedule_from_dict` — event
+  sequences with their processes, so certified histories can be
+  archived and re-checked later.
+
+Encodings carry a ``"format"`` tag and version; unknown versions are
+rejected loudly rather than mis-parsed.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Mapping, Optional
+
+from repro.core.activity import ActivityDef, ActivityKind, Direction
+from repro.core.conflict import ConflictRelation, ExplicitConflicts
+from repro.core.process import Process
+from repro.core.schedule import (
+    AbortEvent,
+    ActivityEvent,
+    CommitEvent,
+    GroupAbortEvent,
+    ProcessSchedule,
+)
+from repro.errors import ReproError
+
+__all__ = [
+    "process_to_dict",
+    "process_from_dict",
+    "process_to_json",
+    "process_from_json",
+    "conflicts_to_dict",
+    "conflicts_from_dict",
+    "schedule_to_dict",
+    "schedule_from_dict",
+]
+
+PROCESS_FORMAT = "repro/process"
+CONFLICTS_FORMAT = "repro/conflicts"
+SCHEDULE_FORMAT = "repro/schedule"
+VERSION = 1
+
+
+class SerializationError(ReproError):
+    """An encoding could not be produced or parsed."""
+
+
+def _check_header(payload: Mapping[str, object], expected: str) -> None:
+    if payload.get("format") != expected:
+        raise SerializationError(
+            f"expected format {expected!r}, got {payload.get('format')!r}"
+        )
+    if payload.get("version") != VERSION:
+        raise SerializationError(
+            f"unsupported {expected!r} version {payload.get('version')!r}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# processes
+# ---------------------------------------------------------------------------
+
+
+def process_to_dict(process: Process) -> Dict[str, object]:
+    """Encode a process template as a JSON-safe dictionary."""
+    activities = []
+    for definition in process.activities():
+        entry: Dict[str, object] = {
+            "name": definition.name,
+            "kind": definition.kind.value,
+            "service": definition.service,
+            "subsystem": definition.subsystem,
+            "effect_free": definition.effect_free,
+        }
+        if definition.compensation_service is not None:
+            entry["compensation_service"] = definition.compensation_service
+        if definition.params:
+            entry["params"] = dict(definition.params)
+        activities.append(entry)
+    return {
+        "format": PROCESS_FORMAT,
+        "version": VERSION,
+        "process_id": process.process_id,
+        "activities": activities,
+        "precedence": [list(edge) for edge in process.edges()],
+        "preference": {
+            source: list(process.alternatives(source))
+            for source in process.preference_sources()
+        },
+    }
+
+
+def process_from_dict(payload: Mapping[str, object]) -> Process:
+    """Decode a process template; validates Definition 5 on the way in."""
+    _check_header(payload, PROCESS_FORMAT)
+    activities = []
+    for entry in payload["activities"]:  # type: ignore[index]
+        kind = ActivityKind(entry["kind"])
+        kwargs: Dict[str, object] = {
+            "name": entry["name"],
+            "kind": kind,
+            "service": entry.get("service"),
+            "subsystem": entry.get("subsystem", "default"),
+            "effect_free": bool(entry.get("effect_free", False)),
+            "params": entry.get("params", {}),
+        }
+        if kind.is_compensatable and "compensation_service" in entry:
+            kwargs["compensation_service"] = entry["compensation_service"]
+        activities.append(ActivityDef(**kwargs))  # type: ignore[arg-type]
+    return Process(
+        str(payload["process_id"]),
+        activities,
+        [tuple(edge) for edge in payload["precedence"]],  # type: ignore[index]
+        {
+            source: list(branches)
+            for source, branches in payload.get("preference", {}).items()  # type: ignore[union-attr]
+        },
+    )
+
+
+def process_to_json(process: Process, indent: Optional[int] = None) -> str:
+    return json.dumps(process_to_dict(process), sort_keys=True, indent=indent)
+
+
+def process_from_json(text: str) -> Process:
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise SerializationError(f"invalid JSON: {error}") from error
+    return process_from_dict(payload)
+
+
+# ---------------------------------------------------------------------------
+# conflicts
+# ---------------------------------------------------------------------------
+
+
+def conflicts_to_dict(conflicts: ExplicitConflicts) -> Dict[str, object]:
+    """Encode an explicit conflict relation."""
+    return {
+        "format": CONFLICTS_FORMAT,
+        "version": VERSION,
+        "pairs": sorted(list(pair) for pair in conflicts.pairs()),
+    }
+
+
+def conflicts_from_dict(payload: Mapping[str, object]) -> ExplicitConflicts:
+    _check_header(payload, CONFLICTS_FORMAT)
+    return ExplicitConflicts(
+        (pair[0], pair[-1]) for pair in payload["pairs"]  # type: ignore[index]
+    )
+
+
+# ---------------------------------------------------------------------------
+# schedules
+# ---------------------------------------------------------------------------
+
+
+def schedule_to_dict(schedule: ProcessSchedule) -> Dict[str, object]:
+    """Encode a schedule with its processes and event sequence.
+
+    The conflict relation is only encoded when it is an
+    :class:`ExplicitConflicts`; semantic relations should be re-derived
+    from the subsystem registry on load.
+    """
+    events: List[Dict[str, object]] = []
+    for event in schedule.events:
+        if isinstance(event, ActivityEvent):
+            events.append(
+                {
+                    "type": "activity",
+                    "process": event.process_id,
+                    "activity": event.activity.activity_name,
+                    "direction": event.activity.direction.exponent,
+                }
+            )
+        elif isinstance(event, CommitEvent):
+            events.append({"type": "commit", "process": event.process_id})
+        elif isinstance(event, AbortEvent):
+            events.append({"type": "abort", "process": event.process_id})
+        elif isinstance(event, GroupAbortEvent):
+            events.append(
+                {"type": "group_abort", "processes": list(event.process_ids)}
+            )
+    payload: Dict[str, object] = {
+        "format": SCHEDULE_FORMAT,
+        "version": VERSION,
+        "processes": [
+            process_to_dict(process) for process in schedule.processes()
+        ],
+        "events": events,
+    }
+    if isinstance(schedule.conflicts, ExplicitConflicts):
+        payload["conflicts"] = conflicts_to_dict(schedule.conflicts)
+    return payload
+
+
+def schedule_from_dict(
+    payload: Mapping[str, object],
+    conflicts: Optional[ConflictRelation] = None,
+) -> ProcessSchedule:
+    """Decode a schedule; ``conflicts`` overrides the encoded relation."""
+    _check_header(payload, SCHEDULE_FORMAT)
+    processes = [
+        process_from_dict(entry) for entry in payload["processes"]  # type: ignore[index]
+    ]
+    if conflicts is None and "conflicts" in payload:
+        conflicts = conflicts_from_dict(payload["conflicts"])  # type: ignore[arg-type]
+    schedule = ProcessSchedule(processes, conflicts)
+    for entry in payload["events"]:  # type: ignore[index]
+        kind = entry["type"]
+        if kind == "activity":
+            direction = (
+                Direction.COMPENSATION
+                if entry["direction"] == -1
+                else Direction.FORWARD
+            )
+            schedule.record(entry["process"], entry["activity"], direction)
+        elif kind == "commit":
+            schedule.record_commit(entry["process"])
+        elif kind == "abort":
+            schedule.record_abort(entry["process"])
+        elif kind == "group_abort":
+            schedule.record_group_abort(entry["processes"])
+        else:
+            raise SerializationError(f"unknown event type {kind!r}")
+    return schedule

@@ -1,0 +1,175 @@
+"""Exception hierarchy for the transactional process management library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so a
+caller embedding the scheduler can catch one base class.  The hierarchy
+mirrors the layers of the system:
+
+* model errors (malformed processes, illegal schedules),
+* subsystem errors (transaction aborts, service failures),
+* scheduler errors (correctness violations, deadlock resolution),
+* recovery errors (log corruption, unrecoverable state).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+# ---------------------------------------------------------------------------
+# Model errors
+# ---------------------------------------------------------------------------
+
+
+class ModelError(ReproError):
+    """Base class for errors in the static process/schedule model."""
+
+
+class InvalidProcessError(ModelError):
+    """A process definition violates Definition 5.
+
+    Raised when the precedence order is cyclic, the preference order is
+    not total where transitivity demands it, an activity is referenced
+    but not declared, or a compensating activity is missing for an
+    activity declared compensatable.
+    """
+
+
+class NotWellFormedError(InvalidProcessError):
+    """A process does not have well-formed flex structure.
+
+    Only processes with well-formed flex structure enjoy the
+    guaranteed-termination property (ZNBB94); the scheduler refuses to
+    admit any other process.
+    """
+
+
+class InvalidScheduleError(ModelError):
+    """A process schedule violates Definition 7.
+
+    Raised when a schedule orders activities against their process's
+    precedence order, interleaves activities of the same process
+    illegally, or references activities of processes not in the
+    schedule.
+    """
+
+
+class UnknownActivityError(ModelError):
+    """An activity id was referenced that is not part of the model."""
+
+
+class UnknownProcessError(ModelError):
+    """A process id was referenced that is not part of the model."""
+
+
+# ---------------------------------------------------------------------------
+# Subsystem errors
+# ---------------------------------------------------------------------------
+
+
+class SubsystemError(ReproError):
+    """Base class for errors raised by transactional subsystems."""
+
+
+class TransactionAborted(SubsystemError):
+    """A local transaction in a subsystem terminated with abort.
+
+    This is the normal failure signal of an activity invocation: the
+    subsystem guarantees atomicity, so an aborted invocation has no
+    effect and may be retried (for retriable activities) or trigger an
+    alternative execution path.
+    """
+
+
+class ServiceNotFoundError(SubsystemError):
+    """A process invoked a service the subsystem does not provide."""
+
+
+class NotPreparedError(SubsystemError):
+    """Commit or rollback was requested for a transaction that is not
+    in the prepared state of the two-phase commit protocol."""
+
+
+class AlreadyTerminatedError(SubsystemError):
+    """An operation was attempted on a transaction that already
+    committed or aborted."""
+
+
+class LockTimeoutError(TransactionAborted):
+    """A local transaction could not acquire a lock and was aborted.
+
+    Subsystems use strict two-phase locking internally; a lock wait that
+    would deadlock or exceed its budget aborts the waiter, which
+    surfaces as an ordinary activity failure at the process level.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Scheduler errors
+# ---------------------------------------------------------------------------
+
+
+class SchedulerError(ReproError):
+    """Base class for errors raised by process schedulers."""
+
+
+class CorrectnessViolation(SchedulerError):
+    """An execution would violate (or has violated) the PRED criterion.
+
+    Raised by the paranoid-mode scheduler when the online protocol and
+    the offline checker disagree, and by baseline schedulers that
+    deliberately admit incorrect histories when asked to verify them.
+    """
+
+
+class ProcessAbortedError(SchedulerError):
+    """A process was aborted by the scheduler (e.g. as a deadlock
+    victim) and its guaranteed-termination completion was executed."""
+
+    def __init__(self, process_id: str, reason: str = "") -> None:
+        self.process_id = process_id
+        self.reason = reason
+        message = f"process {process_id!r} aborted"
+        if reason:
+            message = f"{message}: {reason}"
+        super().__init__(message)
+
+
+class DeadlockError(SchedulerError):
+    """A deferral cycle between processes was detected.
+
+    The scheduler resolves deadlocks itself by victim selection; this
+    error is only surfaced when deadlock resolution is disabled.
+    """
+
+    def __init__(self, cycle: tuple, message: str = "") -> None:
+        self.cycle = tuple(cycle)
+        text = message or f"deferral deadlock: {' -> '.join(map(str, self.cycle))}"
+        super().__init__(text)
+
+
+class SchedulerClosedError(SchedulerError):
+    """The scheduler has been shut down and accepts no new work."""
+
+
+# ---------------------------------------------------------------------------
+# Recovery errors
+# ---------------------------------------------------------------------------
+
+
+class RecoveryError(ReproError):
+    """Base class for crash-recovery errors."""
+
+
+class LogCorruptionError(RecoveryError):
+    """The write-ahead log could not be parsed during restart."""
+
+
+class UnrecoverableStateError(RecoveryError):
+    """Restart recovery could not complete the group abort.
+
+    By guaranteed termination this cannot happen for well-formed
+    processes; it indicates a bug or a non-well-formed process admitted
+    with validation disabled.
+    """

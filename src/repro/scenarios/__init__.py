@@ -1,0 +1,27 @@
+"""Concrete domain scenarios: the paper's figures, CIM, commerce, travel."""
+
+from repro.scenarios.cim import (
+    CimScenario,
+    build_cim_scenario,
+    construction_process,
+    production_process,
+)
+from repro.scenarios.commerce import (
+    CommerceScenario,
+    build_commerce_scenario,
+    order_process,
+)
+from repro.scenarios.paper import (
+    MarkedSchedule,
+    figure9_conflicts,
+    paper_conflicts,
+    process_p1,
+    process_p2,
+    process_p3,
+    schedule_fig4a,
+    schedule_fig4b,
+    schedule_fig7,
+    schedule_fig9,
+    schedule_fig9_incorrect,
+)
+from repro.scenarios.travel import TravelScenario, build_travel_scenario, trip_process

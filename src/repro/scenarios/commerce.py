@@ -1,0 +1,169 @@
+"""E-commerce order fulfilment processes (paper §1's motivation).
+
+The paper names electronic commerce as a prime application of
+transactional process management.  This scenario models an order
+pipeline over four subsystems:
+
+* ``shop`` — the storefront: order records (compensatable — orders can
+  be cancelled);
+* ``inventory`` — stock reservation (compensatable — reservations can
+  be released);
+* ``payments`` — charging the customer: the **pivot** (a captured card
+  payment is neither safely retriable nor silently reversible in this
+  model — refunds are a business decision, not a compensation the shop
+  may unilaterally schedule);
+* ``logistics`` — shipping label + dispatch (retriable: the courier API
+  is eventually available).
+
+If the payment fails, the order process falls back to an alternative
+that marks the order "awaiting manual payment" and notifies the
+customer (retriable activities), demonstrating guaranteed termination:
+the order never ends half-processed.
+
+Two order processes for the *same article* conflict in the inventory
+subsystem (reserve/reserve on one stock record) — the concurrent flavor
+the X2 benchmarks sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.conflict import ConflictRelation
+from repro.core.flex import build_process, choice, comp, pivot, retr, seq
+from repro.core.process import Process
+from repro.errors import TransactionAborted
+from repro.subsystems.services import Service, ServicePair, append_service
+from repro.subsystems.subsystem import Subsystem, SubsystemRegistry
+
+__all__ = ["CommerceScenario", "build_commerce_scenario", "order_process"]
+
+
+def order_process(order_id: str, article: str) -> Process:
+    """One order fulfilment process for ``article``."""
+    return build_process(
+        f"Order-{order_id}",
+        seq(
+            comp(
+                "record_order",
+                service="record_order",
+                subsystem="shop",
+                params={"item": order_id},
+            ),
+            comp(
+                "reserve_stock",
+                service=f"reserve_{article}",
+                subsystem="inventory",
+            ),
+            pivot(
+                "charge",
+                service="charge_payment",
+                subsystem="payments",
+            ),
+            choice(
+                seq(
+                    retr(
+                        "ship",
+                        service="dispatch",
+                        subsystem="logistics",
+                        params={"item": order_id},
+                    ),
+                    retr(
+                        "confirm",
+                        service="confirm_order",
+                        subsystem="shop",
+                        params={"item": order_id},
+                    ),
+                ),
+                seq(
+                    retr(
+                        "manual_payment",
+                        service="flag_manual_payment",
+                        subsystem="shop",
+                        params={"item": order_id},
+                    ),
+                    retr(
+                        "notify",
+                        service="notify_customer",
+                        subsystem="shop",
+                        params={"item": order_id},
+                    ),
+                ),
+            ),
+        ),
+    )
+
+
+@dataclass
+class CommerceScenario:
+    """Subsystems, conflicts and ready-made order processes."""
+
+    registry: SubsystemRegistry
+    conflicts: ConflictRelation
+    orders: List[Process]
+
+
+def build_commerce_scenario(
+    orders: int = 3,
+    articles: Tuple[str, ...] = ("widget",),
+    stock: int = 100,
+) -> CommerceScenario:
+    """Build the four subsystems and ``orders`` processes per article."""
+    shop = Subsystem(
+        "shop",
+        initial_state={"orders": [], "confirmed": [], "manual": [], "notified": []},
+    )
+    shop.register(append_service("record_order", "orders"))
+    shop.register(append_service("confirm_order", "confirmed").forward)
+    shop.register(append_service("flag_manual_payment", "manual").forward)
+    shop.register(append_service("notify_customer", "notified").forward)
+
+    inventory = Subsystem(
+        "inventory",
+        initial_state={f"stock:{article}": stock for article in articles},
+    )
+    for article in articles:
+        key = f"stock:{article}"
+
+        def reserve(context, key=key):
+            remaining = context.increment(key, -1)
+            if remaining < 0:  # type: ignore[operator]
+                raise TransactionAborted(f"{key} exhausted")
+            return remaining
+
+        def release(context, key=key):
+            return context.increment(key, 1)
+
+        keys = frozenset({key})
+        inventory.register(
+            ServicePair(
+                Service(f"reserve_{article}", reserve, reads=keys, writes=keys),
+                Service(f"reserve_{article}~inv", release, reads=keys, writes=keys),
+            )
+        )
+
+    payments = Subsystem("payments", initial_state={"captured": 0})
+    payments.register(
+        Service(
+            "charge_payment",
+            lambda context: context.increment("captured"),
+            reads=frozenset({"captured"}),
+            writes=frozenset({"captured"}),
+        )
+    )
+
+    logistics = Subsystem("logistics", initial_state={"dispatched": []})
+    logistics.register(append_service("dispatch", "dispatched").forward)
+
+    registry = SubsystemRegistry([shop, inventory, payments, logistics])
+    processes = [
+        order_process(f"{article}-{index + 1}", article)
+        for article in articles
+        for index in range(orders)
+    ]
+    return CommerceScenario(
+        registry=registry,
+        conflicts=registry.semantic_conflicts(),
+        orders=processes,
+    )

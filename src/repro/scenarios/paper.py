@@ -1,0 +1,204 @@
+"""The paper's own processes, conflicts and schedules (Figures 2-9).
+
+This module is the single source of truth for every worked example the
+paper contains; the paper test-suite and the figure benchmarks both
+import from here.
+
+* ``process_p1()`` — Figure 2's process ``P_1``:
+  ``a11^c ≪ a12^p``, then alternatives ``(a13^c ≪ a14^p) ◁ (a15^r ≪ a16^r)``.
+* ``process_p2()`` — ``P_2`` of Figure 4:
+  ``a21^c ≪ a22^c ≪ a23^p ≪ a24^r ≪ a25^r``.
+* ``process_p3()`` — ``P_3`` of Figure 9:
+  ``a31^c ≪ a32^p ≪ a33^r`` with ``a31`` conflicting ``a11``.
+* ``paper_conflicts()`` — Example 3's conflict pairs
+  ``(a11,a21)``, ``(a12,a24)``, ``(a15,a25)``.
+* schedule builders for Figure 4(a) ``S``, Figure 4(b) ``S'``,
+  Figure 7 ``S''`` and Figure 9 ``S*``, each with the prefix positions
+  ``t_1``/``t_2`` the examples refer to.
+
+Conventions: every activity is its own service (``s11`` for ``a11``
+etc.), matching the paper's abstract treatment where conflicts are
+declared directly between activities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.core.conflict import ExplicitConflicts
+from repro.core.flex import build_process, choice, comp, pivot, retr, seq
+from repro.core.process import Process
+from repro.core.schedule import ProcessSchedule
+
+__all__ = [
+    "process_p1",
+    "process_p2",
+    "process_p3",
+    "paper_conflicts",
+    "figure9_conflicts",
+    "MarkedSchedule",
+    "schedule_fig4a",
+    "schedule_fig4b",
+    "schedule_fig7",
+    "schedule_fig9",
+    "schedule_fig9_incorrect",
+]
+
+
+def process_p1() -> Process:
+    """Process ``P_1`` of Figure 2 (four valid executions, Example 1)."""
+    return build_process(
+        "P1",
+        seq(
+            comp("a11", service="s11"),
+            pivot("a12", service="s12"),
+            choice(
+                seq(comp("a13", service="s13"), pivot("a14", service="s14")),
+                seq(retr("a15", service="s15"), retr("a16", service="s16")),
+            ),
+        ),
+    )
+
+
+def process_p2() -> Process:
+    """Process ``P_2`` of Figure 4."""
+    return build_process(
+        "P2",
+        seq(
+            comp("a21", service="s21"),
+            comp("a22", service="s22"),
+            pivot("a23", service="s23"),
+            retr("a24", service="s24"),
+            retr("a25", service="s25"),
+        ),
+    )
+
+
+def process_p3() -> Process:
+    """Process ``P_3`` of Figure 9 (quasi-commit example)."""
+    return build_process(
+        "P3",
+        seq(
+            comp("a31", service="s31"),
+            pivot("a32", service="s32"),
+            retr("a33", service="s33"),
+        ),
+    )
+
+
+def paper_conflicts() -> ExplicitConflicts:
+    """Example 3's conflicting pairs between ``P_1`` and ``P_2``."""
+    return ExplicitConflicts(
+        [("s11", "s21"), ("s12", "s24"), ("s15", "s25")]
+    )
+
+
+def figure9_conflicts() -> ExplicitConflicts:
+    """Figure 9: only ``a11`` and ``a31`` conflict."""
+    return ExplicitConflicts([("s11", "s31")])
+
+
+@dataclass(frozen=True)
+class MarkedSchedule:
+    """A schedule with the prefix lengths the paper's examples mark."""
+
+    schedule: ProcessSchedule
+    #: Prefix length corresponding to the figure's time ``t_1``.
+    t1: int
+    #: Prefix length corresponding to the figure's time ``t_2``.
+    t2: int
+
+    def at_t1(self) -> ProcessSchedule:
+        return self.schedule.prefix(self.t1)
+
+    def at_t2(self) -> ProcessSchedule:
+        return self.schedule.prefix(self.t2)
+
+
+def schedule_fig4a() -> MarkedSchedule:
+    """Figure 4(a): the serializable execution ``S`` of ``P_1 ∥ P_2``.
+
+    At ``t_1`` process ``P_1`` has executed only ``a11`` while ``P_2``
+    has progressed past its pivot (Example 8 analyses this prefix); at
+    ``t_2`` the conflicting pairs are ordered ``a11 ≪ a21`` and
+    ``a12 ≪ a24`` (Example 4).
+    """
+    schedule = ProcessSchedule([process_p1(), process_p2()], paper_conflicts())
+    schedule.record("P1", "a11")
+    schedule.record("P2", "a21")
+    schedule.record("P2", "a22")
+    schedule.record("P2", "a23")  # t1 reached: P2 in F-REC, P1 in B-REC
+    schedule.record("P1", "a12")
+    schedule.record("P1", "a13")
+    schedule.record("P2", "a24")  # t2
+    return MarkedSchedule(schedule, t1=4, t2=7)
+
+
+def schedule_fig4b() -> MarkedSchedule:
+    """Figure 4(b): the non-serializable execution ``S'`` (Example 3).
+
+    Here ``a24`` executes *before* ``a12``, closing the cycle
+    ``P_1 → P_2 → P_1`` through the pairs ``(a11,a21)`` and
+    ``(a12,a24)``.
+    """
+    schedule = ProcessSchedule([process_p1(), process_p2()], paper_conflicts())
+    schedule.record("P1", "a11")
+    schedule.record("P2", "a21")
+    schedule.record("P2", "a22")
+    schedule.record("P2", "a23")
+    schedule.record("P2", "a24")
+    schedule.record("P1", "a12")
+    schedule.record("P1", "a13")  # t2
+    return MarkedSchedule(schedule, t1=4, t2=7)
+
+
+def schedule_fig7() -> MarkedSchedule:
+    """Figure 7: a prefix-reducible execution ``S''`` of ``P_1 ∥ P_2``.
+
+    The conflicting activity ``a21`` is deferred until ``P_1``'s pivot
+    ``a12`` committed, so every prefix completes into a reducible
+    schedule (Examples 7 and 9).
+    """
+    schedule = ProcessSchedule([process_p1(), process_p2()], paper_conflicts())
+    schedule.record("P1", "a11")
+    schedule.record("P1", "a12")
+    schedule.record("P2", "a21")
+    schedule.record("P2", "a22")
+    schedule.record("P1", "a13")
+    schedule.record("P1", "a14")
+    schedule.record("P2", "a23")
+    schedule.record("P2", "a24")  # t1
+    schedule.record("P2", "a25")
+    schedule.record_commit("P1")
+    schedule.record_commit("P2")
+    return MarkedSchedule(schedule, t1=8, t2=11)
+
+
+def schedule_fig9() -> MarkedSchedule:
+    """Figure 9: exploiting the quasi-commit of ``a12`` (Example 10).
+
+    ``a31`` conflicts with ``a11``, but executes only after ``P_1``'s
+    pivot committed: ``P_1`` is in ``F-REC``, compensation of ``a11`` is
+    no longer available, so no conflict cycle can arise through
+    ``a11^{-1}`` — the interleaving is correct.
+    """
+    schedule = ProcessSchedule([process_p1(), process_p3()], figure9_conflicts())
+    schedule.record("P1", "a11")
+    schedule.record("P1", "a12")
+    schedule.record("P3", "a31")  # t1: correct despite the conflict
+    return MarkedSchedule(schedule, t1=3, t2=3)
+
+
+def schedule_fig9_incorrect() -> MarkedSchedule:
+    """The Figure 9 interleaving *without* the quasi-commit.
+
+    Executing ``a31`` (and ``P_3``'s pivot) before ``a12`` commits makes
+    the prefix irreducible: completing it must compensate ``a11`` while
+    ``P_3`` is already forward-recoverable — Example 8's pattern.
+    """
+    schedule = ProcessSchedule([process_p1(), process_p3()], figure9_conflicts())
+    schedule.record("P1", "a11")
+    schedule.record("P3", "a31")
+    schedule.record("P3", "a32")  # t1: P3 in F-REC, P1 still in B-REC
+    return MarkedSchedule(schedule, t1=3, t2=3)

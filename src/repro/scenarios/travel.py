@@ -1,0 +1,145 @@
+"""Travel booking — the classic flex-transaction scenario.
+
+The flex transaction literature the paper builds on (ELLR90, MRSK92,
+ZNBB94) motivates its model with travel booking: reserve parts of a
+trip across independent providers, with alternatives when a preferred
+provider fails.  Our rendition:
+
+* reserve a flight with carrier A (compensatable — cancellable), or,
+  if A has no seats, with carrier B (the alternative branch — also
+  compensatable, followed by its own ticketing pivot and retriable
+  confirmation);
+* **ticketing** is the pivot: issuing the ticket is non-compensatable
+  (rebooking fees are not a compensation);
+* hotel and notification steps are retriable.
+
+Two trips compete for the last seats of the same flight, which is how
+the scenario exercises semantic conflicts (seat-counter services
+commute until the capacity boundary, where reservation fails and the
+alternative kicks in).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.conflict import ConflictRelation
+from repro.core.flex import build_process, choice, comp, pivot, retr, seq
+from repro.core.process import Process
+from repro.errors import TransactionAborted
+from repro.subsystems.services import Service, ServicePair, append_service
+from repro.subsystems.subsystem import Subsystem, SubsystemRegistry
+
+__all__ = ["TravelScenario", "build_travel_scenario", "trip_process"]
+
+
+def trip_process(trip_id: str) -> Process:
+    """One trip: carrier A preferred, carrier B as the alternative."""
+    return build_process(
+        f"Trip-{trip_id}",
+        seq(
+            comp(
+                "reserve_a",
+                service="reserve_carrier_a",
+                subsystem="carrier_a",
+            ),
+            pivot("ticket_a", service="ticket_carrier_a", subsystem="carrier_a"),
+            choice(
+                seq(
+                    comp(
+                        "hotel",
+                        service="book_hotel",
+                        subsystem="hotel",
+                        params={"item": trip_id},
+                    ),
+                    pivot("hotel_guarantee", service="guarantee_hotel", subsystem="hotel"),
+                    retr(
+                        "itinerary",
+                        service="send_itinerary",
+                        subsystem="notify",
+                        params={"item": trip_id},
+                    ),
+                ),
+                seq(
+                    retr(
+                        "notify_no_hotel",
+                        service="notify_no_hotel",
+                        subsystem="notify",
+                        params={"item": trip_id},
+                    ),
+                ),
+            ),
+        ),
+    )
+
+
+@dataclass
+class TravelScenario:
+    registry: SubsystemRegistry
+    conflicts: ConflictRelation
+    trips: List[Process]
+
+
+def _seat_services(subsystem: Subsystem, name: str, key: str) -> None:
+    """Register reserve/release seat-counter services with capacity."""
+
+    def reserve(context):
+        remaining = context.increment(key, -1)
+        if remaining < 0:  # type: ignore[operator]
+            raise TransactionAborted(f"no seats left on {key}")
+        return remaining
+
+    def release(context):
+        return context.increment(key, 1)
+
+    keys = frozenset({key})
+    subsystem.register(
+        ServicePair(
+            Service(f"reserve_{name}", reserve, reads=keys, writes=keys),
+            Service(f"reserve_{name}~inv", release, reads=keys, writes=keys),
+        )
+    )
+    subsystem.register(
+        Service(
+            f"ticket_{name}",
+            lambda context: context.increment("tickets"),
+            reads=frozenset({"tickets"}),
+            writes=frozenset({"tickets"}),
+        )
+    )
+
+
+def build_travel_scenario(trips: int = 2, seats: int = 1) -> TravelScenario:
+    """Build providers with ``seats`` capacity and ``trips`` processes.
+
+    With ``seats=1`` and two trips, exactly one trip gets carrier A and
+    conflict handling plus alternatives do the rest.
+    """
+    carrier_a = Subsystem("carrier_a", initial_state={"seats": seats, "tickets": 0})
+    _seat_services(carrier_a, "carrier_a", "seats")
+
+    hotel = Subsystem("hotel", initial_state={"rooms": [], "guaranteed": 0})
+    hotel.register(append_service("book_hotel", "rooms"))
+    hotel.register(
+        Service(
+            "guarantee_hotel",
+            lambda context: context.increment("guaranteed"),
+            reads=frozenset({"guaranteed"}),
+            writes=frozenset({"guaranteed"}),
+        )
+    )
+
+    notify = Subsystem(
+        "notify", initial_state={"sent": []}
+    )
+    notify.register(append_service("send_itinerary", "sent").forward)
+    notify.register(append_service("notify_no_hotel", "sent").forward)
+
+    registry = SubsystemRegistry([carrier_a, hotel, notify])
+    processes = [trip_process(str(index + 1)) for index in range(trips)]
+    return TravelScenario(
+        registry=registry,
+        conflicts=registry.semantic_conflicts(),
+        trips=processes,
+    )

@@ -1,0 +1,17 @@
+"""Discrete-event simulation: virtual time, workloads, metrics."""
+
+from repro.sim.clock import VirtualClock
+from repro.sim.engine import EventQueue
+from repro.sim.metrics import RunMetrics, percentile, summarize
+from repro.sim.runner import (
+    SimulationRunner,
+    constant_durations,
+    simulate_run,
+)
+from repro.sim.workload import (
+    Workload,
+    WorkloadSpec,
+    generate_process,
+    generate_workload,
+)
+from repro.sim.experiments import DISCIPLINES, grade_history, run_discipline, sweep

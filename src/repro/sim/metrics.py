@@ -1,0 +1,113 @@
+"""Metrics collected by simulation runs and benchmark sweeps.
+
+A :class:`RunMetrics` aggregates what one run produced — virtual-time
+makespan, per-process latencies, dispatch/abort counts and correctness
+grades from the offline checkers — and knows how to summarise itself
+into the row format the benchmark harness prints.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["RunMetrics", "percentile", "summarize"]
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Linear-interpolated percentile; 0 for empty input."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = fraction * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    weight = rank - low
+    return ordered[low] * (1 - weight) + ordered[high] * weight
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """Mean / p50 / p95 / max of a sample."""
+    if not values:
+        return {"mean": 0.0, "p50": 0.0, "p95": 0.0, "max": 0.0}
+    return {
+        "mean": sum(values) / len(values),
+        "p50": percentile(values, 0.50),
+        "p95": percentile(values, 0.95),
+        "max": max(values),
+    }
+
+
+@dataclass
+class RunMetrics:
+    """Everything one scheduler run produced, in virtual time."""
+
+    scheduler_name: str
+    #: Virtual time at which the last process terminated.
+    makespan: float = 0.0
+    #: instance id -> (start, end) virtual times.
+    process_spans: Dict[str, tuple] = field(default_factory=dict)
+    processes_committed: int = 0
+    processes_aborted: int = 0
+    activities_dispatched: int = 0
+    deferrals: int = 0
+    victim_aborts: int = 0
+    restarts: int = 0
+    #: Offline correctness grades (filled by the benchmark harness).
+    serializable: Optional[bool] = None
+    process_recoverable: Optional[bool] = None
+    prefix_reducible: Optional[bool] = None
+    #: History replay failed — the history is not even a legal execution.
+    illegal_history: bool = False
+
+    @property
+    def latencies(self) -> List[float]:
+        return [end - start for start, end in self.process_spans.values()]
+
+    @property
+    def throughput(self) -> float:
+        """Committed processes per unit of virtual time."""
+        if self.makespan <= 0:
+            return 0.0
+        return self.processes_committed / self.makespan
+
+    @property
+    def is_correct(self) -> bool:
+        """All offline grades passed (graded ones only)."""
+        if self.illegal_history:
+            return False
+        grades = [
+            grade
+            for grade in (
+                self.serializable,
+                self.process_recoverable,
+                self.prefix_reducible,
+            )
+            if grade is not None
+        ]
+        return all(grades)
+
+    def row(self) -> Dict[str, object]:
+        """Flat row for the benchmark report tables."""
+        latency = summarize(self.latencies)
+        return {
+            "scheduler": self.scheduler_name,
+            "makespan": round(self.makespan, 3),
+            "throughput": round(self.throughput, 4),
+            "latency_mean": round(latency["mean"], 3),
+            "latency_p95": round(latency["p95"], 3),
+            "committed": self.processes_committed,
+            "aborted": self.processes_aborted,
+            "dispatched": self.activities_dispatched,
+            "deferrals": self.deferrals,
+            "victim_aborts": self.victim_aborts,
+            "restarts": self.restarts,
+            "serializable": self.serializable,
+            "proc_rec": self.process_recoverable,
+            "pred": self.prefix_reducible,
+        }

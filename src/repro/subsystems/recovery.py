@@ -1,0 +1,282 @@
+"""Restart recovery after a scheduler crash (Definition 8 2(b)).
+
+When the transactional process scheduler fails, all processes that were
+active must be treated as aborted through the set-oriented group abort
+``A(P_{n_1}, …, P_{n_s})`` — each is finished via its completion
+``C(P_i)``: backward-recoverable processes are compensated, forward-
+recoverable ones are driven down their retriable forward-recovery path.
+
+Recovery proceeds in four phases:
+
+1. **Analysis** — scan the write-ahead log: which processes started and
+   terminated, which activity events committed (and in which order),
+   which invocations were prepared, rolled back, or covered by a logged
+   2PC commit decision.
+2. **In-doubt resolution** — prepared transactions with a logged 2PC
+   commit decision are re-committed (the decision is the anchor);
+   prepared transactions without one are presumed aborted and rolled
+   back, and their events removed from the recovered history.
+3. **State rebuild** — each active process's
+   :class:`~repro.core.instance.ProcessInstance` is reconstructed by
+   replaying its surviving events.
+4. **Group abort** — a fresh scheduler executes every completion under
+   the normal protocol rules (so Lemmas 2/3 orderings hold during
+   recovery too) and the combined pre+post-crash history is certified.
+
+Returns a :class:`RecoveryReport` carrying the recovered scheduler, the
+full history and per-phase details.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.core.activity import Direction
+from repro.core.conflict import ConflictRelation
+from repro.core.process import Process
+from repro.core.schedule import ProcessSchedule
+from repro.core.scheduler import (
+    SchedulerRules,
+    TransactionalProcessScheduler,
+)
+from repro.errors import UnknownProcessError
+from repro.subsystems.subsystem import SubsystemRegistry
+from repro.subsystems.wal import WriteAheadLog
+
+__all__ = ["RecoveryReport", "analyze_wal", "recover"]
+
+
+@dataclass
+class WalAnalysis:
+    """Phase-1 result: what the log says happened."""
+
+    #: instance id -> process template id is identical in this library.
+    started: List[str] = field(default_factory=list)
+    committed: Set[str] = field(default_factory=set)
+    aborted: Set[str] = field(default_factory=set)
+    #: Ordered surviving activity events: (process, activity, direction).
+    events: List[Tuple[str, str, int]] = field(default_factory=list)
+    #: (process, activity) pairs whose prepared invocation lacks a 2PC
+    #: commit decision — presumed aborted.
+    presumed_aborted: List[Tuple[str, str]] = field(default_factory=list)
+    #: 2PC groups with a commit decision but no end record.
+    in_doubt_committed_groups: List[str] = field(default_factory=list)
+    #: transaction id -> 2PC group it participates in.
+    txn_groups: Dict[str, str] = field(default_factory=dict)
+    #: Groups with a logged commit decision.
+    decided_groups: Set[str] = field(default_factory=set)
+
+    @property
+    def active(self) -> List[str]:
+        return [
+            pid
+            for pid in self.started
+            if pid not in self.committed and pid not in self.aborted
+        ]
+
+
+def analyze_wal(wal: WriteAheadLog) -> WalAnalysis:
+    """Phase 1: reconstruct the pre-crash state from the log."""
+    analysis = WalAnalysis()
+    #: (process, activity) -> index into analysis.events
+    event_index: Dict[Tuple[str, str], int] = {}
+    prepared: Dict[Tuple[str, str], bool] = {}
+    hardened_processes_groups: Dict[str, str] = {}
+    decided_groups: Set[str] = set()
+    ended_groups: Set[str] = set()
+    raw_events: List[Tuple[str, str, int, bool]] = []  # + prepared flag
+    rolled_back: Set[Tuple[str, str]] = set()
+    hardened: Set[str] = set()
+
+    for record in wal.records():
+        kind = record.get("type")
+        if kind == "process_submit":
+            analysis.started.append(str(record["process"]))
+        elif kind == "process_commit":
+            analysis.committed.add(str(record["process"]))
+        elif kind == "process_abort":
+            analysis.aborted.add(str(record["process"]))
+        elif kind == "activity_commit":
+            raw_events.append(
+                (
+                    str(record["process"]),
+                    str(record["activity"]),
+                    int(record["direction"]),  # type: ignore[arg-type]
+                    bool(record.get("prepared")),
+                )
+            )
+        elif kind == "activity_rollback":
+            rolled_back.add(
+                (str(record["process"]), str(record["activity"]))
+            )
+        elif kind == "hardened":
+            hardened.add(str(record["process"]))
+        elif kind == "2pc_begin":
+            group = str(record["group"])
+            for participant in record.get("participants", ()):  # type: ignore[union-attr]
+                # Participants are logged as "subsystem:txn_id".
+                txn_id = str(participant).split(":", 1)[-1]
+                analysis.txn_groups[txn_id] = group
+        elif kind == "2pc_commit":
+            decided_groups.add(str(record["group"]))
+        elif kind == "2pc_end":
+            ended_groups.add(str(record["group"]))
+
+    analysis.decided_groups = decided_groups
+    analysis.in_doubt_committed_groups = sorted(decided_groups - ended_groups)
+
+    for process_id, activity, direction, was_prepared in raw_events:
+        key = (process_id, activity)
+        if direction == 1 and key in rolled_back:
+            continue
+        if (
+            direction == 1
+            and was_prepared
+            and process_id not in analysis.committed
+            and f"harden:{process_id}" not in decided_groups
+        ):
+            # Prepared, never covered by a commit decision: presumed
+            # aborted; the invocation's effects never became durable.
+            analysis.presumed_aborted.append(key)
+            continue
+        analysis.events.append((process_id, activity, direction))
+    return analysis
+
+
+@dataclass
+class RecoveryReport:
+    """Result of restart recovery."""
+
+    analysis: WalAnalysis
+    #: Processes finished by the recovery group abort.
+    group_aborted: Tuple[str, ...]
+    #: The scheduler that executed the recovery (reusable afterwards).
+    scheduler: TransactionalProcessScheduler
+    #: Combined pre-crash + recovery history.
+    history: ProcessSchedule
+    #: Prepared transactions rolled back during in-doubt resolution.
+    rolled_back_in_doubt: int = 0
+    re_committed_in_doubt: int = 0
+
+
+def recover(
+    wal: WriteAheadLog,
+    registry: SubsystemRegistry,
+    processes: Mapping[str, Process],
+    conflicts: Optional[ConflictRelation] = None,
+    rules: Optional[SchedulerRules] = None,
+) -> RecoveryReport:
+    """Run restart recovery; returns the report with the full history.
+
+    ``processes`` maps instance ids (as submitted pre-crash) to their
+    templates — the process repository every workflow system persists.
+    """
+    analysis = analyze_wal(wal)
+    for pid in analysis.started:
+        if pid not in processes:
+            raise UnknownProcessError(
+                f"WAL references process {pid!r} missing from the repository"
+            )
+
+    # Phase 2: resolve in-doubt prepared transactions at the subsystems.
+    # Transactions whose 2PC group has a logged commit decision are
+    # re-committed; all others are presumed aborted and rolled back.
+    redone = 0
+    undone = 0
+    for subsystem, transaction in registry.prepared_transactions():
+        group = analysis.txn_groups.get(transaction.txn_id)
+        if group is not None and group in analysis.decided_groups:
+            subsystem.commit_prepared(transaction.txn_id)
+            redone += 1
+        else:
+            subsystem.rollback_prepared(transaction.txn_id)
+            undone += 1
+
+    # Phase 3+4: rebuild instances and run the group abort under a fresh
+    # scheduler, seeded with the surviving pre-crash events.
+    scheduler = TransactionalProcessScheduler(
+        registry=registry,
+        conflicts=conflicts,
+        rules=rules,
+        wal=wal,
+    )
+    pre_crash: Dict[str, List[Tuple[str, int]]] = {}
+    for process_id, activity, direction in analysis.events:
+        pre_crash.setdefault(process_id, []).append((activity, direction))
+
+    active = analysis.active
+    for pid in active:
+        scheduler.submit(processes[pid], instance_id=pid)
+    # Replay the surviving events in their ORIGINAL GLOBAL ORDER — the
+    # interleaving determines the conflict edges, and per-process
+    # grouping would invent edges that never existed (and can deadlock
+    # the group abort against itself).
+    for process_id, activity, direction in analysis.events:
+        if process_id not in scheduler.instance_ids():
+            continue  # events of processes that terminated pre-crash
+        managed = scheduler.managed(process_id)
+        scheduler._record_event(  # noqa: SLF001 - recovery is a friend
+            managed,
+            activity,
+            Direction.FORWARD if direction == 1 else Direction.COMPENSATION,
+        )
+    for pid in active:
+        managed = scheduler.managed(pid)
+        managed.instance = _rebuild_instance(
+            scheduler, processes[pid], pid, pre_crash.get(pid, ())
+        )
+        # Surviving non-compensatable events were covered by a logged
+        # 2PC decision (otherwise presumed aborted in analysis): they
+        # are hardened.
+        for activity, direction in pre_crash.get(pid, ()):
+            definition = processes[pid].activity(activity)
+            if direction == 1 and not definition.kind.is_compensatable:
+                managed.hardened.add(activity)
+
+    if scheduler.wal is not None:
+        scheduler.wal.append(
+            {"type": "recovery_group_abort", "processes": list(active)}
+        )
+    for pid in active:
+        managed = scheduler.managed(pid)
+        if not managed.instance.status.is_terminal and not managed.abort_pending:
+            scheduler.abort(pid, reason="restart recovery group abort")
+        elif managed.instance.status.is_terminal:
+            # The rebuilt instance already reached a terminal state (its
+            # completion had fully executed pre-crash); record it.
+            scheduler.step(pid)
+    history = scheduler.run()
+    return RecoveryReport(
+        analysis=analysis,
+        group_aborted=tuple(active),
+        scheduler=scheduler,
+        history=history,
+        rolled_back_in_doubt=undone,
+        re_committed_in_doubt=redone,
+    )
+
+
+def _rebuild_instance(
+    scheduler: TransactionalProcessScheduler,
+    process: Process,
+    pid: str,
+    events: Sequence[Tuple[str, int]],
+):
+    """Rebuild a process instance from its surviving pre-crash events.
+
+    Reuses the failure-inference replay of
+    :meth:`repro.core.schedule.ProcessSchedule.instance_state` so that
+    alternative switches and in-flight aborts are reconstructed exactly.
+    """
+    template = process.renamed(pid)
+    replay_schedule = ProcessSchedule([template], scheduler.conflicts)
+    for activity, direction in events:
+        replay_schedule.record(
+            pid,
+            activity,
+            Direction.FORWARD if direction == 1 else Direction.COMPENSATION,
+        )
+    instance = replay_schedule.instance_state(pid)
+    instance.instance_id = pid
+    return instance

@@ -1,0 +1,165 @@
+"""Versioned key-value resources and lock management.
+
+Each transactional subsystem (paper §2.3) owns a
+:class:`VersionedStore` — an in-memory key-value store whose entries
+carry version counters — and a :class:`LockManager` implementing strict
+two-phase locking.  Local transactions buffer writes and acquire locks;
+the store is only touched at commit, so an aborted invocation is
+guaranteed to leave no effects (the atomicity the paper assumes of
+service invocations).
+
+The lock manager never blocks: the scheduler above is a synchronous
+reactor, so a lock request that cannot be granted immediately raises
+:class:`WouldBlock` carrying the holders.  The caller (the subsystem)
+turns this into a deferral decision — for prepared transactions of
+deferred commits this is precisely how Lemma 1's "defer conflicting
+work until the pivot group commits" is realised physically.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Mapping, Optional, Set, Tuple
+
+from repro.errors import SubsystemError
+
+__all__ = ["LockMode", "WouldBlock", "VersionedStore", "LockManager"]
+
+
+class LockMode(enum.Enum):
+    """Lock modes of the strict-2PL lock manager."""
+
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+    def compatible(self, other: "LockMode") -> bool:
+        return self is LockMode.SHARED and other is LockMode.SHARED
+
+
+class WouldBlock(SubsystemError):
+    """A lock request cannot be granted without waiting.
+
+    Carries the ids of the transactions holding conflicting locks so
+    the scheduler can wait for (or abort) them.
+    """
+
+    def __init__(self, key: str, mode: LockMode, holders: FrozenSet[str]) -> None:
+        self.key = key
+        self.mode = mode
+        self.holders = holders
+        super().__init__(
+            f"lock {mode.value} on {key!r} blocked by {sorted(holders)}"
+        )
+
+
+@dataclass
+class _Entry:
+    value: object
+    version: int = 0
+
+
+class VersionedStore:
+    """In-memory key-value store with per-key version counters.
+
+    Versions let tests and the simulation assert effect-freeness: a
+    compensated activity must leave every key it touched with the same
+    value it had before (versions still advance, recording that writes
+    happened — effect-freeness is about *values*, Definition 1 is about
+    return values of other activities).
+    """
+
+    def __init__(self, initial: Optional[Mapping[str, object]] = None) -> None:
+        self._entries: Dict[str, _Entry] = {}
+        for key, value in (initial or {}).items():
+            self._entries[key] = _Entry(value=value)
+
+    def get(self, key: str, default: object = None) -> object:
+        entry = self._entries.get(key)
+        return default if entry is None else entry.value
+
+    def exists(self, key: str) -> bool:
+        return key in self._entries
+
+    def version(self, key: str) -> int:
+        entry = self._entries.get(key)
+        return 0 if entry is None else entry.version
+
+    def apply(self, writes: Mapping[str, object]) -> None:
+        """Install a committed write set, bumping versions."""
+        for key, value in writes.items():
+            entry = self._entries.get(key)
+            if entry is None:
+                self._entries[key] = _Entry(value=value, version=1)
+            else:
+                entry.value = value
+                entry.version += 1
+
+    def delete(self, key: str) -> None:
+        self._entries.pop(key, None)
+
+    def snapshot(self) -> Dict[str, object]:
+        """A value snapshot (used by effect-freeness assertions)."""
+        return {key: entry.value for key, entry in self._entries.items()}
+
+    def keys(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class LockManager:
+    """Strict two-phase locking with immediate would-block signalling."""
+
+    def __init__(self) -> None:
+        #: key -> {owner_id: mode}
+        self._locks: Dict[str, Dict[str, LockMode]] = {}
+
+    def acquire(self, owner: str, key: str, mode: LockMode) -> None:
+        """Grant ``owner`` a lock or raise :class:`WouldBlock`.
+
+        Re-entrant: an owner holding a lock may re-request it; a shared
+        lock is upgraded to exclusive when no other owner holds one.
+        """
+        holders = self._locks.setdefault(key, {})
+        held = holders.get(owner)
+        if held is LockMode.EXCLUSIVE or held is mode:
+            return
+        others = {
+            other: other_mode
+            for other, other_mode in holders.items()
+            if other != owner
+        }
+        if mode is LockMode.SHARED:
+            blocking = {
+                other
+                for other, other_mode in others.items()
+                if other_mode is LockMode.EXCLUSIVE
+            }
+        else:
+            blocking = set(others)
+        if blocking:
+            raise WouldBlock(key, mode, frozenset(blocking))
+        holders[owner] = mode
+
+    def release_all(self, owner: str) -> None:
+        """Release every lock held by ``owner`` (end of strict 2PL)."""
+        for key in list(self._locks):
+            holders = self._locks[key]
+            holders.pop(owner, None)
+            if not holders:
+                del self._locks[key]
+
+    def holders(self, key: str) -> Dict[str, LockMode]:
+        return dict(self._locks.get(key, {}))
+
+    def held_by(self, owner: str) -> List[Tuple[str, LockMode]]:
+        return [
+            (key, holders[owner])
+            for key, holders in self._locks.items()
+            if owner in holders
+        ]
+
+    def __len__(self) -> int:
+        return sum(len(holders) for holders in self._locks.values())

@@ -1,0 +1,282 @@
+"""Transactional subsystems (paper §2.3).
+
+A transactional subsystem executes service invocations as atomic local
+transactions and offers, per the paper's assumptions, *either* the
+ability to compensate already committed services *or* support for a
+two-phase commit protocol (prepared transactions with deferred commit).
+Our subsystems offer both; which one an activity uses is decided by its
+termination guarantee:
+
+* **compensatable** activities commit their local transaction
+  immediately — their compensation service undoes the effect later if
+  needed;
+* **pivot** and **retriable** activities are left *prepared* (``hold``)
+  so the process scheduler can defer and atomically commit them through
+  2PC (Lemma 1), or roll them back natively if the process becomes an
+  abort victim before its pivot group hardens.
+
+The :class:`SubsystemRegistry` routes invocations by subsystem name and
+is the single integration point for the scheduler, the baselines and
+the examples.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple, Union
+
+from repro.core.conflict import ConflictRelation
+from repro.errors import (
+    ServiceNotFoundError,
+    SubsystemError,
+    TransactionAborted,
+)
+from repro.subsystems.failures import FailurePolicy, NoFailures
+from repro.subsystems.resource import LockManager, VersionedStore, WouldBlock
+from repro.subsystems.services import (
+    Service,
+    ServiceContext,
+    ServicePair,
+    conflicts_from_services,
+)
+from repro.subsystems.transaction import LocalTransaction, TransactionState
+
+__all__ = ["Invocation", "Subsystem", "SubsystemRegistry"]
+
+
+@dataclass
+class Invocation:
+    """Result of a successful service invocation."""
+
+    subsystem: str
+    service: str
+    transaction: LocalTransaction
+    return_value: object
+
+    @property
+    def txn_id(self) -> str:
+        return self.transaction.txn_id
+
+    @property
+    def is_prepared(self) -> bool:
+        return self.transaction.state is TransactionState.PREPARED
+
+
+class Subsystem:
+    """One transactional subsystem with its store, locks and services."""
+
+    _txn_ids = itertools.count(1)
+
+    def __init__(
+        self,
+        name: str,
+        initial_state: Optional[Mapping[str, object]] = None,
+    ) -> None:
+        self.name = name
+        self.store = VersionedStore(initial_state)
+        self.locks = LockManager()
+        self._services: Dict[str, Service] = {}
+        self._transactions: Dict[str, LocalTransaction] = {}
+
+    # -- registration ---------------------------------------------------------
+
+    def register(self, service: Union[Service, ServicePair]) -> "Subsystem":
+        """Register a service or a compensatable service pair."""
+        if isinstance(service, ServicePair):
+            self._register_one(service.forward)
+            self._register_one(service.compensation)
+        else:
+            self._register_one(service)
+        return self
+
+    def _register_one(self, service: Service) -> None:
+        if service.name in self._services:
+            raise SubsystemError(
+                f"service {service.name!r} already registered on "
+                f"subsystem {self.name!r}"
+            )
+        self._services[service.name] = service
+
+    def service(self, name: str) -> Service:
+        try:
+            return self._services[name]
+        except KeyError:
+            raise ServiceNotFoundError(
+                f"subsystem {self.name!r} provides no service {name!r}"
+            ) from None
+
+    def services(self) -> Iterator[Service]:
+        return iter(self._services.values())
+
+    def provides(self, name: str) -> bool:
+        return name in self._services
+
+    # -- invocation --------------------------------------------------------------
+
+    def invoke(
+        self,
+        service_name: str,
+        params: Optional[Mapping[str, object]] = None,
+        hold: bool = False,
+        attempt: int = 1,
+        failures: Optional[FailurePolicy] = None,
+        txn_id: Optional[str] = None,
+    ) -> Invocation:
+        """Invoke a service as an atomic local transaction.
+
+        With ``hold=True`` the transaction is *prepared* instead of
+        committed — the deferred-commit mode for non-compensatable
+        activities.  Raises :class:`TransactionAborted` when the
+        invocation fails (injected or raised by the handler) and
+        :class:`WouldBlock` when a lock conflict requires waiting; in
+        both cases the transaction is rolled back and no effects remain.
+        """
+        service = self.service(service_name)
+        policy = failures or NoFailures()
+        identifier = txn_id or f"{self.name}/t{next(self._txn_ids)}"
+        transaction = LocalTransaction(identifier, self.store, self.locks)
+        self._transactions[identifier] = transaction
+        try:
+            if policy.should_fail(service_name, attempt):
+                raise TransactionAborted(
+                    f"injected abort of {service_name!r} "
+                    f"(attempt {attempt}) on subsystem {self.name!r}"
+                )
+            context = ServiceContext(transaction, params or {}, self.name)
+            value = service.run(context)
+        except (TransactionAborted, WouldBlock):
+            transaction.rollback()
+            del self._transactions[identifier]
+            raise
+        except Exception as error:
+            transaction.rollback()
+            del self._transactions[identifier]
+            raise TransactionAborted(
+                f"service {service_name!r} raised {error!r}"
+            ) from error
+        if hold:
+            transaction.prepare()
+        else:
+            transaction.commit()
+            del self._transactions[identifier]
+        return Invocation(
+            subsystem=self.name,
+            service=service_name,
+            transaction=transaction,
+            return_value=value,
+        )
+
+    # -- prepared transaction management -------------------------------------------
+
+    def commit_prepared(self, txn_id: str) -> None:
+        """Commit a prepared transaction (2PC phase two)."""
+        transaction = self._require_transaction(txn_id)
+        transaction.require_prepared()
+        transaction.commit()
+        del self._transactions[txn_id]
+
+    def rollback_prepared(self, txn_id: str) -> None:
+        """Roll back a prepared transaction (2PC abort / victim abort)."""
+        transaction = self._require_transaction(txn_id)
+        transaction.require_prepared()
+        transaction.rollback()
+        del self._transactions[txn_id]
+
+    def prepared_transactions(self) -> List[LocalTransaction]:
+        """In-doubt transactions, e.g. to be resolved by crash recovery."""
+        return [
+            transaction
+            for transaction in self._transactions.values()
+            if transaction.state is TransactionState.PREPARED
+        ]
+
+    def _require_transaction(self, txn_id: str) -> LocalTransaction:
+        try:
+            return self._transactions[txn_id]
+        except KeyError:
+            raise SubsystemError(
+                f"subsystem {self.name!r} knows no open transaction "
+                f"{txn_id!r}"
+            ) from None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Subsystem({self.name!r}, services={len(self._services)}, "
+            f"open_txns={len(self._transactions)})"
+        )
+
+
+class SubsystemRegistry:
+    """Routes service invocations to subsystems by name.
+
+    Also aggregates the semantic conflict relation over all registered
+    services, which the scheduler combines with any explicitly declared
+    conflicts.
+    """
+
+    def __init__(self, subsystems: Iterable[Subsystem] = ()) -> None:
+        self._subsystems: Dict[str, Subsystem] = {}
+        for subsystem in subsystems:
+            self.add(subsystem)
+
+    def add(self, subsystem: Subsystem) -> "SubsystemRegistry":
+        if subsystem.name in self._subsystems:
+            raise SubsystemError(
+                f"duplicate subsystem name {subsystem.name!r}"
+            )
+        self._subsystems[subsystem.name] = subsystem
+        return self
+
+    def get(self, name: str) -> Subsystem:
+        try:
+            return self._subsystems[name]
+        except KeyError:
+            raise SubsystemError(f"unknown subsystem {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._subsystems
+
+    def subsystems(self) -> Iterator[Subsystem]:
+        return iter(self._subsystems.values())
+
+    def find_provider(self, service_name: str) -> Subsystem:
+        """The subsystem providing a service (names must be unique)."""
+        providers = [
+            subsystem
+            for subsystem in self._subsystems.values()
+            if subsystem.provides(service_name)
+        ]
+        if not providers:
+            raise ServiceNotFoundError(
+                f"no subsystem provides service {service_name!r}"
+            )
+        if len(providers) > 1:
+            raise SubsystemError(
+                f"service {service_name!r} provided by multiple subsystems: "
+                f"{[subsystem.name for subsystem in providers]}"
+            )
+        return providers[0]
+
+    def semantic_conflicts(self) -> ConflictRelation:
+        """Conflicts derived from all services' read/write sets."""
+        return conflicts_from_services(
+            service
+            for subsystem in self._subsystems.values()
+            for service in subsystem.services()
+        )
+
+    def prepared_transactions(self) -> List[Tuple[Subsystem, LocalTransaction]]:
+        """All in-doubt transactions across subsystems."""
+        found: List[Tuple[Subsystem, LocalTransaction]] = []
+        for subsystem in self._subsystems.values():
+            for transaction in subsystem.prepared_transactions():
+                found.append((subsystem, transaction))
+        return found
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Value snapshot of every store (for effect-freeness checks)."""
+        return {
+            name: subsystem.store.snapshot()
+            for name, subsystem in self._subsystems.items()
+        }

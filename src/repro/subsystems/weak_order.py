@@ -1,0 +1,288 @@
+"""Weak order inside subsystems (paper §3.6, composite systems).
+
+The process model's strong order executes an activity only after its
+predecessor *terminated*.  The weak order of the composite-systems
+theory is more permissive: two (even conflicting) activities may run in
+parallel inside a subsystem "as long as the overall effect is the same
+as if they would have been executed as specified by the strong order".
+The subsystem guarantees this by **commit-order serializability**: the
+local transactions may interleave, but they commit in the prescribed
+weak order, and reads respect it.
+
+This module implements that protocol for our subsystems, plus the
+paper's special treatment of retriable re-invocation:
+
+    "If the local transaction T_ik corresponding to a_ik^r terminates
+    aborting after some operations of T_ik have already been executed,
+    then, in general, the local transaction T_jl running in parallel to
+    T_ik has to be aborted, too.  However, as this is not due to a
+    failure of T_jl, it must not lead to an exception of P_j … after
+    T_ik is restarted, T_jl has to be restarted within the subsystem,
+    too."
+
+:class:`WeakOrderSession` wraps one subsystem.  Activities are enlisted
+with an explicit weak-order position; their handlers run immediately
+against a session-private overlay (so conflicting work can proceed in
+parallel without tripping the strict-2PL locks), and the session
+commits the group to the real store in weak order.  If an enlisted
+invocation aborts and is re-invoked (the retriable case), every
+transaction ordered *after* it in the weak order is rolled back and
+re-executed — the cascaded restart of §3.6, invisible to the process
+layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.errors import SubsystemError, TransactionAborted
+from repro.subsystems.failures import FailurePolicy, NoFailures
+from repro.subsystems.services import ServiceContext
+from repro.subsystems.subsystem import Subsystem
+
+__all__ = ["WeakEnlistment", "WeakOrderSession"]
+
+
+class _OverlayTransaction:
+    """A transaction against a session-private overlay of the store.
+
+    Reads see the overlay state as produced by every *earlier* (in weak
+    order) enlisted transaction — the commit-order-serializable view —
+    without acquiring store locks, so conflicting enlistments can run
+    concurrently in wall-clock terms.
+    """
+
+    def __init__(self, base_read: Callable[[str, object], object]) -> None:
+        self._base_read = base_read
+        self.writes: Dict[str, object] = {}
+        self.reads: Set[str] = set()
+
+    def read(self, key: str, default: object = None) -> object:
+        self.reads.add(key)
+        if key in self.writes:
+            return self.writes[key]
+        return self._base_read(key, default)
+
+    def write(self, key: str, value: object) -> None:
+        self.writes[key] = value
+
+    def increment(self, key: str, amount: float = 1) -> float:
+        current = self.read(key, 0)
+        updated = (current or 0) + amount  # type: ignore[operator]
+        self.write(key, updated)
+        return updated  # type: ignore[return-value]
+
+
+@dataclass
+class WeakEnlistment:
+    """One activity enlisted into a weak-order session."""
+
+    position: int
+    service_name: str
+    params: Mapping[str, object]
+    attempt: int = 1
+    #: Result of the latest (re-)execution.
+    return_value: object = None
+    executed: bool = False
+    #: How many times §3.6's cascaded restart re-ran this transaction.
+    restarts: int = 0
+    _overlay: Optional[_OverlayTransaction] = None
+
+
+class WeakOrderSession:
+    """Commit-order-serializable execution of a group of activities.
+
+    Usage::
+
+        session = WeakOrderSession(subsystem)
+        first = session.enlist("transfer", position=0)
+        second = session.enlist("audit", position=1)   # conflicts with first
+        session.execute_all()        # both run, in parallel semantics
+        session.commit()             # effects installed in weak order
+
+    Re-invoking a failed enlistment (:meth:`reinvoke`) restarts every
+    later transaction automatically.
+    """
+
+    def __init__(
+        self,
+        subsystem: Subsystem,
+        failures: Optional[FailurePolicy] = None,
+    ) -> None:
+        self.subsystem = subsystem
+        self._failures = failures or NoFailures()
+        self._enlistments: List[WeakEnlistment] = []
+        self._committed = False
+
+    # -- enlistment ---------------------------------------------------------
+
+    def enlist(
+        self,
+        service_name: str,
+        position: Optional[int] = None,
+        params: Optional[Mapping[str, object]] = None,
+    ) -> WeakEnlistment:
+        """Add an activity at a weak-order position (append by default)."""
+        if self._committed:
+            raise SubsystemError("weak-order session already committed")
+        self.subsystem.service(service_name)  # validate early
+        if position is None:
+            position = len(self._enlistments)
+        enlistment = WeakEnlistment(
+            position=position,
+            service_name=service_name,
+            params=dict(params or {}),
+        )
+        self._enlistments.append(enlistment)
+        self._enlistments.sort(key=lambda entry: entry.position)
+        return enlistment
+
+    def _ordered(self) -> List[WeakEnlistment]:
+        return sorted(self._enlistments, key=lambda entry: entry.position)
+
+    # -- execution -----------------------------------------------------------
+
+    def _view_before(self, enlistment: WeakEnlistment):
+        """Read function seeing the overlay of all earlier enlistments."""
+        earlier = [
+            entry
+            for entry in self._ordered()
+            if entry.position < enlistment.position
+            and entry.executed
+            and entry._overlay is not None
+        ]
+
+        def read(key: str, default: object = None) -> object:
+            for entry in reversed(earlier):
+                overlay = entry._overlay
+                assert overlay is not None
+                if key in overlay.writes:
+                    return overlay.writes[key]
+            return self.subsystem.store.get(key, default)
+
+        return read
+
+    def _run_one(self, enlistment: WeakEnlistment) -> None:
+        service = self.subsystem.service(enlistment.service_name)
+        if self._failures.should_fail(
+            enlistment.service_name, enlistment.attempt
+        ):
+            raise TransactionAborted(
+                f"injected abort of {enlistment.service_name!r} "
+                f"(attempt {enlistment.attempt}) in weak-order session"
+            )
+        overlay = _OverlayTransaction(self._view_before(enlistment))
+        context = ServiceContext(
+            overlay,  # type: ignore[arg-type] - duck-typed transaction
+            enlistment.params,
+            self.subsystem.name,
+        )
+        enlistment.return_value = service.run(context)
+        enlistment._overlay = overlay
+        enlistment.executed = True
+
+    def execute_all(self) -> None:
+        """(Re-)execute every pending enlistment in weak order.
+
+        Raises :class:`TransactionAborted` for the first failing
+        enlistment; already-executed earlier enlistments keep their
+        overlays (they are unaffected — only *later* ones depend on the
+        failed one and remain unexecuted).
+        """
+        for enlistment in self._ordered():
+            if not enlistment.executed:
+                self._run_one(enlistment)
+
+    def reinvoke(self, enlistment: WeakEnlistment) -> None:
+        """Re-invoke a failed (retriable) enlistment — §3.6 semantics.
+
+        Every enlistment ordered after it is rolled back and re-executed
+        so that all reads again respect the weak order.  The restart is
+        not a failure of those activities: their ``restarts`` counters
+        increase, their attempts do not.
+        """
+        enlistment.attempt += 1
+        for entry in self._ordered():
+            if entry.position > enlistment.position and entry.executed:
+                entry.executed = False
+                entry._overlay = None
+                entry.restarts += 1
+        self._run_one(enlistment)
+        for entry in self._ordered():
+            if not entry.executed:
+                self._run_one(entry)
+
+    # -- commitment ------------------------------------------------------------
+
+    def commit(self) -> None:
+        """Install every overlay into the store, in weak order.
+
+        The installation is the commit-order-serializable step: effects
+        land exactly as if the group had executed sequentially in the
+        prescribed order, regardless of the wall-clock interleaving.
+        """
+        if self._committed:
+            raise SubsystemError("weak-order session already committed")
+        pending = [
+            entry for entry in self._ordered() if not entry.executed
+        ]
+        if pending:
+            raise SubsystemError(
+                f"cannot commit: enlistments not executed: "
+                f"{[entry.service_name for entry in pending]}"
+            )
+        for entry in self._ordered():
+            overlay = entry._overlay
+            assert overlay is not None
+            self.subsystem.store.apply(overlay.writes)
+        self._committed = True
+
+    def abort(self) -> None:
+        """Drop every overlay; the store is untouched (atomicity)."""
+        for entry in self._enlistments:
+            entry.executed = False
+            entry._overlay = None
+        self._committed = True
+
+    # -- introspection -----------------------------------------------------------
+
+    def effects_match_strong_order(self) -> bool:
+        """Check the §3.6 guarantee against a strong-order re-execution.
+
+        Replays the enlisted services sequentially on a scratch copy of
+        the store and compares the final values with what :meth:`commit`
+        would install — ``True`` iff the weak execution is effect-
+        equivalent to the strong order.
+        """
+        scratch: Dict[str, object] = dict(self.subsystem.store.snapshot())
+
+        class _Scratch:
+            def read(self, key, default=None):
+                return scratch.get(key, default)
+
+            def write(self, key, value):
+                scratch[key] = value
+
+            def increment(self, key, amount=1):
+                value = (scratch.get(key, 0) or 0) + amount
+                scratch[key] = value
+                return value
+
+        for entry in self._ordered():
+            if not entry.executed:
+                return False
+            service = self.subsystem.service(entry.service_name)
+            service.run(
+                ServiceContext(
+                    _Scratch(),  # type: ignore[arg-type]
+                    entry.params,
+                    self.subsystem.name,
+                )
+            )
+
+        combined: Dict[str, object] = {}
+        for entry in self._ordered():
+            assert entry._overlay is not None
+            combined.update(entry._overlay.writes)
+        return all(scratch.get(key) == value for key, value in combined.items())

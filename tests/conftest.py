@@ -1,0 +1,89 @@
+"""Shared fixtures: the paper's processes and schedules, tiny helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.conflict import ExplicitConflicts
+from repro.core.instance import ActionType, ProcessInstance
+from repro.scenarios.paper import (
+    paper_conflicts,
+    process_p1,
+    process_p2,
+    process_p3,
+    schedule_fig4a,
+    schedule_fig4b,
+    schedule_fig7,
+    schedule_fig9,
+    schedule_fig9_incorrect,
+)
+
+
+@pytest.fixture
+def p1():
+    return process_p1()
+
+
+@pytest.fixture
+def p2():
+    return process_p2()
+
+
+@pytest.fixture
+def p3():
+    return process_p3()
+
+
+@pytest.fixture
+def conflicts():
+    return paper_conflicts()
+
+
+@pytest.fixture
+def fig4a():
+    return schedule_fig4a()
+
+
+@pytest.fixture
+def fig4b():
+    return schedule_fig4b()
+
+
+@pytest.fixture
+def fig7():
+    return schedule_fig7()
+
+
+@pytest.fixture
+def fig9():
+    return schedule_fig9()
+
+
+@pytest.fixture
+def fig9_incorrect():
+    return schedule_fig9_incorrect()
+
+
+def drive_instance(instance: ProcessInstance, failing=frozenset(), max_steps=200):
+    """Drive an instance to termination; listed activities fail once."""
+    remaining = dict.fromkeys(failing, 1)
+    steps = 0
+    while steps < max_steps:
+        steps += 1
+        action = instance.next_action()
+        if action.type is ActionType.FINISHED:
+            return instance
+        name = action.activity
+        if (
+            action.type is ActionType.INVOKE
+            and remaining.get(name, 0) >= action.attempt
+        ):
+            instance.on_failed(name)
+        else:
+            instance.on_committed(name)
+    raise AssertionError("instance did not terminate")
+
+
+@pytest.fixture
+def drive():
+    return drive_instance

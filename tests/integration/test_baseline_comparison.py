@@ -1,0 +1,125 @@
+"""Integration tests comparing all scheduler disciplines on one footing."""
+
+import pytest
+
+from repro.baselines import (
+    FlatScheduler,
+    LockingScheduler,
+    OptimisticScheduler,
+    SerialScheduler,
+)
+from repro.core.pred import check_pred
+from repro.core.recoverability import is_process_recoverable
+from repro.core.scheduler import TransactionalProcessScheduler
+from repro.errors import ReproError
+from repro.scenarios.paper import paper_conflicts, process_p1, process_p2
+from repro.subsystems.failures import FailurePlan
+
+ALL_SCHEDULERS = [
+    SerialScheduler,
+    LockingScheduler,
+    FlatScheduler,
+    OptimisticScheduler,
+    TransactionalProcessScheduler,
+]
+
+
+def grade(history):
+    """Offline correctness grades; exceptions mean an illegal history."""
+    try:
+        serializable = history.is_serializable()
+        recoverable = is_process_recoverable(history)
+        pred = check_pred(history).is_pred
+        return {
+            "legal": True,
+            "serializable": serializable,
+            "proc_rec": recoverable,
+            "pred": pred,
+        }
+    except ReproError:
+        return {
+            "legal": False,
+            "serializable": False,
+            "proc_rec": False,
+            "pred": False,
+        }
+
+
+def run_discipline(cls, failures=None):
+    scheduler = cls(conflicts=paper_conflicts())
+    scheduler.submit(process_p1(), failures=failures)
+    scheduler.submit(process_p2())
+    return scheduler, scheduler.run()
+
+
+class TestFailureFreeRuns:
+    @pytest.mark.parametrize("cls", ALL_SCHEDULERS)
+    def test_everyone_serializable_without_failures(self, cls):
+        _, history = run_discipline(cls)
+        assert grade(history)["serializable"]
+
+    @pytest.mark.parametrize("cls", ALL_SCHEDULERS)
+    def test_everything_commits_without_failures(self, cls):
+        _, history = run_discipline(cls)
+        assert len(history.committed_processes()) >= 2
+
+
+class TestRunsWithFailures:
+    def test_pred_scheduler_stays_fully_correct(self):
+        _, history = run_discipline(
+            TransactionalProcessScheduler,
+            failures=FailurePlan.fail_once(["s14"]),
+        )
+        grades = grade(history)
+        assert grades == {
+            "legal": True,
+            "serializable": True,
+            "proc_rec": True,
+            "pred": True,
+        }
+
+    def test_serial_stays_correct_but_has_no_parallelism(self):
+        _, history = run_discipline(
+            SerialScheduler, failures=FailurePlan.fail_once(["s14"])
+        )
+        assert grade(history)["pred"]
+
+    def test_optimistic_violates_under_failures(self):
+        scheduler, history = run_discipline(
+            OptimisticScheduler, failures=FailurePlan.fail_once(["s14"])
+        )
+        grades = grade(history)
+        assert not grades["pred"]
+        assert scheduler.stats.violations_detected >= 1
+
+    def test_flat_wastes_work_on_restart(self):
+        scheduler, history = run_discipline(
+            FlatScheduler, failures=FailurePlan.fail_once(["s14"])
+        )
+        # flat needed strictly more dispatches than the flex path
+        flex_scheduler, _ = run_discipline(
+            TransactionalProcessScheduler,
+            failures=FailurePlan.fail_once(["s14"]),
+        )
+        assert (
+            scheduler.stats.dispatched
+            > flex_scheduler.stats["dispatched"] - 1
+        )
+
+    def test_summary_shape_of_comparison(self):
+        """The X2 bench's row structure assembles for every discipline."""
+        rows = []
+        for cls in ALL_SCHEDULERS:
+            scheduler, history = run_discipline(
+                cls, failures=FailurePlan.fail_once(["s14"])
+            )
+            stats = scheduler.stats
+            stats_dict = stats if isinstance(stats, dict) else stats.as_dict()
+            row = {"scheduler": getattr(scheduler, "name", "pred")}
+            row.update(grade(history))
+            row["dispatched"] = stats_dict.get("dispatched", 0)
+            rows.append(row)
+        names = {row["scheduler"] for row in rows}
+        assert names == {"serial", "locking", "flat", "optimistic", "pred"}
+        pred_row = next(row for row in rows if row["scheduler"] == "pred")
+        assert pred_row["pred"]

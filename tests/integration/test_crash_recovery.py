@@ -1,0 +1,126 @@
+"""Integration tests: scheduler crash and restart recovery (Def 8 2(b))."""
+
+import pytest
+
+from repro.core.pred import is_prefix_reducible
+from repro.core.scheduler import TransactionalProcessScheduler
+from repro.scenarios.paper import paper_conflicts, process_p1, process_p2
+from repro.subsystems.recovery import analyze_wal, recover
+from repro.subsystems.wal import InMemoryWAL
+
+PROCESSES = {"P1": process_p1(), "P2": process_p2()}
+
+
+def crash_after(rounds):
+    wal = InMemoryWAL()
+    scheduler = TransactionalProcessScheduler(
+        conflicts=paper_conflicts(), wal=wal
+    )
+    scheduler.submit(process_p1())
+    scheduler.submit(process_p2())
+    for _ in range(rounds):
+        scheduler.step_round()
+    scheduler.crash()
+    return wal, scheduler.registry
+
+
+class TestRecoveryAcrossCrashPoints:
+    @pytest.mark.parametrize("rounds", [0, 1, 2, 3, 4, 5, 6, 8])
+    def test_recovery_completes_all_active_processes(self, rounds):
+        wal, registry = crash_after(rounds)
+        report = recover(
+            wal, registry, PROCESSES, conflicts=paper_conflicts()
+        )
+        assert report.scheduler.all_terminated()
+        assert is_prefix_reducible(report.history)
+
+    def test_no_prepared_transactions_remain(self):
+        wal, registry = crash_after(3)
+        recover(wal, registry, PROCESSES, conflicts=paper_conflicts())
+        assert registry.prepared_transactions() == []
+
+    def test_in_doubt_resolution_presumes_abort(self):
+        """A prepared invocation without a logged 2PC decision is rolled
+        back on restart (presumed abort)."""
+        # craft a registry with an orphaned prepared transaction
+        wal, registry = crash_after(2)
+        before = len(registry.prepared_transactions())
+        report = recover(wal, registry, PROCESSES, conflicts=paper_conflicts())
+        assert report.rolled_back_in_doubt + report.re_committed_in_doubt == before
+
+    def test_recovered_processes_reach_guaranteed_termination(self):
+        wal, registry = crash_after(4)
+        report = recover(wal, registry, PROCESSES, conflicts=paper_conflicts())
+        statuses = report.scheduler.statuses()
+        for pid in report.group_aborted:
+            assert statuses[pid].is_terminal
+
+
+class TestForwardAndBackwardRecovery:
+    def test_b_rec_process_compensated(self):
+        """A process caught before its pivot hardened is rolled back."""
+        wal, registry = crash_after(1)  # only first activities ran
+        report = recover(wal, registry, PROCESSES, conflicts=paper_conflicts())
+        events = [str(event) for event in report.history.events]
+        assert "P1.a11^-1" in events or "A(P1)" in events
+
+    def test_f_rec_process_forward_recovered(self):
+        """A process whose pivot hardened is driven down its retriable
+        forward path, not compensated."""
+        wal, registry = crash_after(4)
+        report = recover(wal, registry, PROCESSES, conflicts=paper_conflicts())
+        events = [str(event) for event in report.history.events]
+        if "P2" in report.group_aborted and "P2.a23" in events:
+            assert "P2.a24" in events and "P2.a25" in events
+
+
+class TestWalAnalysis:
+    def test_analysis_identifies_active_processes(self):
+        wal, registry = crash_after(2)
+        analysis = analyze_wal(wal)
+        assert set(analysis.started) == {"P1", "P2"}
+        assert set(analysis.active) <= {"P1", "P2"}
+
+    def test_analysis_after_full_run_finds_nothing_active(self):
+        wal = InMemoryWAL()
+        scheduler = TransactionalProcessScheduler(
+            conflicts=paper_conflicts(), wal=wal
+        )
+        scheduler.submit(process_p1())
+        scheduler.run()
+        analysis = analyze_wal(wal)
+        assert analysis.active == []
+
+    def test_recovery_after_full_run_is_noop(self):
+        wal = InMemoryWAL()
+        scheduler = TransactionalProcessScheduler(
+            conflicts=paper_conflicts(), wal=wal
+        )
+        scheduler.submit(process_p1())
+        scheduler.run()
+        scheduler.crash()
+        report = recover(
+            wal, scheduler.registry, PROCESSES, conflicts=paper_conflicts()
+        )
+        assert report.group_aborted == ()
+
+    def test_double_crash_recovery(self):
+        """Crash during recovery: recovering again still terminates."""
+        wal, registry = crash_after(3)
+        report = recover(wal, registry, PROCESSES, conflicts=paper_conflicts())
+        report.scheduler.crash()
+        second = recover(
+            wal, registry, PROCESSES, conflicts=paper_conflicts()
+        )
+        assert second.scheduler.all_terminated()
+
+
+class TestStateConsistency:
+    def test_stores_effect_free_for_backward_recovered(self):
+        """After recovery, a fully backward-recovered run leaves the
+        auto-provisioned stores untouched (all services are no-ops, so
+        we assert via prepared-transaction absence and history shape)."""
+        wal, registry = crash_after(1)
+        report = recover(wal, registry, PROCESSES, conflicts=paper_conflicts())
+        assert registry.prepared_transactions() == []
+        assert report.history.is_legal()

@@ -1,0 +1,94 @@
+"""Regression: recovery must replay events in their global order.
+
+Found by the double-crash property test: recovery used to re-seed the
+scheduler's log per process (all of P0's events, then all of P1's),
+inventing conflict edges that never existed in the real interleaving.
+The phantom edge "P0 before P1" made P1's forward-recovery retriable
+wait for P0 (Lemma 1) while P0's compensation waited for P1 (Lemma 2) —
+a mutual deadlock among two processes that were both already aborting,
+with no legal victim.
+
+The processes that exposed it:
+
+* ``P0`` — all-compensatable: ``a1(s0) ≪ a2(s0) ≪ a3(s2)``;
+* ``P1`` — ``a1^c(s0) ≪ a2^p(s0)`` with alternatives
+  ``a3^p(s0) ◁ a4^r(s1)``;
+* only ``s0`` and ``s2`` conflict, so every ``s0`` activity of ``P1``
+  conflicts with ``P0.a3`` — in the real interleaving the edge runs
+  ``P1 → P0``, in the per-process replay it flipped.
+"""
+
+import pytest
+
+from repro.core.conflict import ExplicitConflicts
+from repro.core.flex import build_process, choice, comp, pivot, retr, seq
+from repro.core.pred import check_pred
+from repro.core.scheduler import TransactionalProcessScheduler
+from repro.subsystems.recovery import recover
+from repro.subsystems.wal import InMemoryWAL
+
+
+def build_case():
+    p0 = build_process(
+        "P0",
+        seq(
+            comp("a1", service="s0"),
+            comp("a2", service="s0"),
+            comp("a3", service="s2"),
+        ),
+    )
+    p1 = build_process(
+        "P1",
+        seq(
+            comp("a1", service="s0"),
+            pivot("a2", service="s0"),
+            choice(seq(pivot("a3", service="s0")), seq(retr("a4", service="s1"))),
+        ),
+    )
+    return p0, p1, ExplicitConflicts([("s0", "s2")])
+
+
+def crash_after(rounds):
+    p0, p1, conflicts = build_case()
+    wal = InMemoryWAL()
+    scheduler = TransactionalProcessScheduler(conflicts=conflicts, wal=wal)
+    scheduler.submit(p0, instance_id="P0")
+    scheduler.submit(p1, instance_id="P1")
+    for _ in range(rounds):
+        if scheduler.all_terminated():
+            break
+        if not scheduler.step_round():
+            scheduler.resolve_stall()
+    scheduler.crash()
+    return wal, scheduler.registry, {"P0": p0, "P1": p1}, conflicts
+
+
+class TestGlobalOrderReplay:
+    def test_recovery_terminates_and_certifies(self):
+        wal, registry, processes, conflicts = crash_after(3)
+        report = recover(wal, registry, processes, conflicts=conflicts)
+        assert report.scheduler.all_terminated()
+        assert check_pred(report.history).is_pred
+
+    def test_interleaved_edge_direction_preserved(self):
+        """P1's s0 activities preceded P0.a3 pre-crash, so the recovered
+        log must order them the same way (edge P1 → P0, not P0 → P1)."""
+        wal, registry, processes, conflicts = crash_after(3)
+        report = recover(wal, registry, processes, conflicts=conflicts)
+        events = [str(event) for event in report.history.events]
+        assert events.index("P1.a2") < events.index("P0.a3")
+
+    def test_double_crash_recovers(self):
+        wal, registry, processes, conflicts = crash_after(3)
+        report = recover(wal, registry, processes, conflicts=conflicts)
+        report.scheduler.crash()
+        second = recover(wal, registry, processes, conflicts=conflicts)
+        assert second.scheduler.all_terminated()
+        assert registry.prepared_transactions() == []
+
+    @pytest.mark.parametrize("rounds", [0, 1, 2, 3, 4, 5])
+    def test_every_crash_point_recovers(self, rounds):
+        wal, registry, processes, conflicts = crash_after(rounds)
+        report = recover(wal, registry, processes, conflicts=conflicts)
+        assert report.scheduler.all_terminated()
+        assert check_pred(report.history).is_pred

@@ -1,0 +1,133 @@
+"""Integration tests for the domain scenarios (commerce, travel)."""
+
+import pytest
+
+from repro.core.flex import is_well_formed
+from repro.core.pred import is_prefix_reducible
+from repro.core.scheduler import SchedulerRules, TransactionalProcessScheduler
+from repro.scenarios.commerce import build_commerce_scenario
+from repro.scenarios.travel import build_travel_scenario
+from repro.subsystems.failures import FailurePlan
+
+
+class TestCommerce:
+    def test_processes_well_formed(self):
+        scenario = build_commerce_scenario(orders=2)
+        for process in scenario.orders:
+            assert is_well_formed(process)
+
+    def test_orders_fulfilled(self):
+        scenario = build_commerce_scenario(orders=2, stock=10)
+        scheduler = TransactionalProcessScheduler(
+            scenario.registry,
+            scenario.conflicts,
+            rules=SchedulerRules(paranoid=True),
+        )
+        for process in scenario.orders:
+            scheduler.submit(process)
+        history = scheduler.run()
+        assert len(history.committed_processes()) == 2
+        shop = scenario.registry.get("shop").store
+        assert len(shop.get("confirmed")) == 2
+        inventory = scenario.registry.get("inventory").store
+        assert inventory.get("stock:widget") == 8
+        assert is_prefix_reducible(history)
+
+    def test_payment_failure_takes_manual_path(self):
+        scenario = build_commerce_scenario(orders=1)
+        scheduler = TransactionalProcessScheduler(
+            scenario.registry,
+            scenario.conflicts,
+            rules=SchedulerRules(paranoid=True),
+        )
+        scheduler.submit(
+            scenario.orders[0],
+            failures=FailurePlan.fail_once(["charge_payment"]),
+        )
+        history = scheduler.run()
+        shop = scenario.registry.get("shop").store
+        # payment pivot failed → backward recovery: stock released and
+        # the order record compensated (charge is the state-determining
+        # activity, so the whole order rolls back cleanly).
+        inventory = scenario.registry.get("inventory").store
+        assert inventory.get("stock:widget") == 100
+        assert shop.get("confirmed") == []
+        assert scheduler.all_terminated()
+
+    def test_stock_exhaustion_aborts_cleanly(self):
+        scenario = build_commerce_scenario(orders=3, stock=2)
+        scheduler = TransactionalProcessScheduler(
+            scenario.registry, scenario.conflicts
+        )
+        for process in scenario.orders:
+            scheduler.submit(process)
+        history = scheduler.run()
+        inventory = scenario.registry.get("inventory").store
+        assert inventory.get("stock:widget") >= 0
+        committed = len(history.committed_processes())
+        assert committed <= 2
+        assert scheduler.all_terminated()
+
+    def test_dispatch_failure_retried(self):
+        scenario = build_commerce_scenario(orders=1)
+        scheduler = TransactionalProcessScheduler(
+            scenario.registry, scenario.conflicts
+        )
+        scheduler.submit(
+            scenario.orders[0], failures=FailurePlan.fail_times("dispatch", 2)
+        )
+        history = scheduler.run()
+        assert len(history.committed_processes()) == 1
+        logistics = scenario.registry.get("logistics").store
+        assert len(logistics.get("dispatched")) == 1
+
+
+class TestTravel:
+    def test_processes_well_formed(self):
+        scenario = build_travel_scenario(trips=2)
+        for trip in scenario.trips:
+            assert is_well_formed(trip)
+
+    def test_two_trips_compete_for_one_seat(self):
+        scenario = build_travel_scenario(trips=2, seats=1)
+        scheduler = TransactionalProcessScheduler(
+            scenario.registry, scenario.conflicts
+        )
+        for trip in scenario.trips:
+            scheduler.submit(trip)
+        history = scheduler.run()
+        carrier = scenario.registry.get("carrier_a").store
+        assert carrier.get("seats") == 0
+        assert carrier.get("tickets") == 1
+        assert scheduler.all_terminated()
+        # exactly one trip got ticketed; the other aborted cleanly
+        committed = history.committed_processes()
+        assert len(committed) == 1
+
+    def test_plenty_of_seats_both_commit(self):
+        scenario = build_travel_scenario(trips=2, seats=5)
+        scheduler = TransactionalProcessScheduler(
+            scenario.registry, scenario.conflicts
+        )
+        for trip in scenario.trips:
+            scheduler.submit(trip)
+        history = scheduler.run()
+        assert len(history.committed_processes()) == 2
+        assert scenario.registry.get("carrier_a").store.get("seats") == 3
+
+    def test_hotel_guarantee_failure_uses_notification_alternative(self):
+        scenario = build_travel_scenario(trips=1, seats=2)
+        scheduler = TransactionalProcessScheduler(
+            scenario.registry, scenario.conflicts
+        )
+        scheduler.submit(
+            scenario.trips[0],
+            failures=FailurePlan.fail_once(["guarantee_hotel"]),
+        )
+        history = scheduler.run()
+        assert len(history.committed_processes()) == 1
+        hotel = scenario.registry.get("hotel").store
+        assert hotel.get("guaranteed") == 0
+        assert hotel.get("rooms") == []  # booking compensated
+        notify = scenario.registry.get("notify").store
+        assert len(notify.get("sent")) == 1

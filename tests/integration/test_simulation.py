@@ -1,0 +1,104 @@
+"""Integration tests for the virtual-time simulation runner."""
+
+import pytest
+
+from repro.baselines import SerialScheduler
+from repro.core.pred import is_prefix_reducible
+from repro.core.scheduler import TransactionalProcessScheduler
+from repro.scenarios.paper import paper_conflicts, process_p1, process_p2
+from repro.sim.runner import SimulationRunner, constant_durations, simulate_run
+from repro.sim.workload import WorkloadSpec, generate_workload
+
+
+def submitted(scheduler_cls, conflicts=None, **kwargs):
+    scheduler = scheduler_cls(conflicts=conflicts or paper_conflicts(), **kwargs)
+    scheduler.submit(process_p1())
+    scheduler.submit(process_p2())
+    return scheduler
+
+
+class TestMakespans:
+    def test_serial_makespan_is_sum_of_durations(self):
+        scheduler = submitted(SerialScheduler)
+        metrics = simulate_run(scheduler, durations=constant_durations(1.0))
+        # 4 activities of P1 + 5 of P2, strictly sequential
+        assert metrics.makespan == pytest.approx(9.0)
+
+    def test_parallel_run_is_faster_than_serial(self):
+        pred = submitted(TransactionalProcessScheduler)
+        serial = submitted(SerialScheduler)
+        parallel_metrics = simulate_run(pred, constant_durations(1.0))
+        serial_metrics = simulate_run(serial, constant_durations(1.0))
+        assert parallel_metrics.makespan < serial_metrics.makespan
+        assert parallel_metrics.processes_committed == 2
+
+    def test_no_conflicts_full_overlap(self):
+        from repro.core.conflict import NoConflicts
+
+        scheduler = submitted(TransactionalProcessScheduler, conflicts=NoConflicts())
+        metrics = simulate_run(scheduler, constant_durations(1.0))
+        # the longer process dominates: 5 time units, not 9
+        assert metrics.makespan == pytest.approx(5.0)
+
+    def test_latencies_recorded_per_process(self):
+        scheduler = submitted(TransactionalProcessScheduler)
+        metrics = simulate_run(scheduler, constant_durations(1.0))
+        assert set(metrics.process_spans) == {"P1", "P2"}
+        assert all(end > start for start, end in metrics.process_spans.values())
+
+
+class TestOrderingModes:
+    def test_weak_order_not_slower_than_strong(self):
+        strong = simulate_run(
+            submitted(TransactionalProcessScheduler),
+            constant_durations(1.0),
+            order="strong",
+        )
+        weak = simulate_run(
+            submitted(TransactionalProcessScheduler),
+            constant_durations(1.0),
+            order="weak",
+        )
+        assert weak.makespan <= strong.makespan
+        assert weak.processes_committed == strong.processes_committed
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationRunner(submitted(SerialScheduler), order="sideways")
+
+    def test_strong_order_serialises_conflicting_activities(self):
+        """With strong order, conflicting activities never overlap: the
+        makespan must cover them sequentially."""
+        strong = simulate_run(
+            submitted(TransactionalProcessScheduler),
+            constant_durations(1.0),
+            order="strong",
+        )
+        # P2's chain alone takes 5; conflicts add at least one unit.
+        assert strong.makespan >= 5.0
+
+
+class TestRandomWorkloads:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_workload_runs_terminate_and_certify(self, seed):
+        spec = WorkloadSpec(
+            processes=4, conflict_rate=0.1, failure_rate=0.05, seed=seed
+        )
+        workload = generate_workload(spec)
+        scheduler = TransactionalProcessScheduler(conflicts=workload.conflicts)
+        for process in workload.processes:
+            scheduler.submit(process, failures=workload.failures)
+        metrics = simulate_run(scheduler, durations=workload.duration)
+        assert scheduler.all_terminated()
+        assert metrics.processes_committed + metrics.processes_aborted == 4
+        assert is_prefix_reducible(scheduler.history())
+
+    def test_metrics_filled_from_scheduler_stats(self):
+        spec = WorkloadSpec(processes=3, conflict_rate=0.2, seed=5)
+        workload = generate_workload(spec)
+        scheduler = TransactionalProcessScheduler(conflicts=workload.conflicts)
+        for process in workload.processes:
+            scheduler.submit(process)
+        metrics = simulate_run(scheduler, durations=workload.duration)
+        assert metrics.activities_dispatched > 0
+        assert metrics.makespan > 0

@@ -1,0 +1,94 @@
+"""§2 / Figure 1: the CIM motivation scenario, executed for real."""
+
+import pytest
+
+from repro.core.flex import is_well_formed
+from repro.core.pred import is_prefix_reducible
+from repro.scenarios.cim import build_cim_scenario, run_cim
+
+
+class TestScenarioSetup:
+    def test_both_processes_well_formed(self):
+        scenario = build_cim_scenario()
+        assert is_well_formed(scenario.construction)
+        assert is_well_formed(scenario.production)
+
+    def test_pdm_conflict_derived_semantically(self):
+        """§2.2: only the two activities within the PDM system conflict."""
+        scenario = build_cim_scenario()
+        assert scenario.conflicts.conflicts("pdm_write_bom", "pdm_read_bom")
+        assert scenario.conflicts.commute("cad_design", "produce_parts")
+        assert scenario.conflicts.commute("test_part", "pdm_read_bom")
+
+    def test_five_plus_subsystems(self):
+        scenario = build_cim_scenario()
+        names = {subsystem.name for subsystem in scenario.registry.subsystems()}
+        assert {"cad", "pdm", "testdb", "docs", "erp", "floor"} <= names
+
+
+class TestSuccessfulRun:
+    def test_part_is_produced(self):
+        scenario, scheduler = run_cim(fail_test=False)
+        assert scenario.registry.get("floor").store.get("produced") == 1
+        assert scenario.registry.get("pdm").store.get("bom") == "part-1"
+        statuses = scheduler.statuses()
+        assert all(status.value == "committed" for status in statuses.values())
+
+    def test_production_pivot_deferred_until_construction_commits(self):
+        """The paper's §3.5 conclusion: "the production activity would
+        have to be deferred until the commitment of the construction
+        process"."""
+        scenario, scheduler = run_cim(fail_test=False)
+        events = [str(event) for event in scheduler.history().events]
+        assert events.index("C(Construction)") < events.index(
+            "Production.produce"
+        )
+
+    def test_history_is_pred(self):
+        scenario, scheduler = run_cim(fail_test=False)
+        assert is_prefix_reducible(scheduler.history())
+
+
+class TestFailedTest:
+    def test_figure1_inconsistency_prevented(self):
+        """§2.2: if the test fails after production read the BOM, no
+        parts may have been produced — the incorrect execution of
+        Figure 1 must be impossible."""
+        scenario, scheduler = run_cim(fail_test=True)
+        assert scenario.registry.get("floor").store.get("produced") == 0
+
+    def test_bom_compensated_and_drawing_archived(self):
+        """§2.1: undo only the PDM entry and document the drawing."""
+        scenario, scheduler = run_cim(fail_test=True)
+        assert scenario.registry.get("pdm").store.get("bom") is None
+        assert len(scenario.registry.get("docs").store.get("documents")) == 1
+        # the long-running design activity is never undone
+        assert len(scenario.registry.get("cad").store.get("drawings")) == 1
+
+    def test_production_cascades(self):
+        """The BOM read by the production process is invalidated, so all
+        its activities are compensated too (§2.2)."""
+        scenario, scheduler = run_cim(fail_test=True)
+        statuses = scheduler.statuses()
+        assert statuses["Production"].value == "aborted"
+        assert scheduler.stats["cascading_aborts"] >= 1
+        # every ERP effect rolled back
+        erp = scenario.registry.get("erp").store
+        assert erp.get("orders") == [] and erp.get("scheduled") == []
+
+    def test_construction_still_commits_via_alternative(self):
+        scenario, scheduler = run_cim(fail_test=True)
+        assert scheduler.statuses()["Construction"].value == "committed"
+
+    def test_failed_run_history_is_pred(self):
+        scenario, scheduler = run_cim(fail_test=True)
+        assert is_prefix_reducible(scheduler.history())
+
+    def test_lemma2_reverse_compensation_order(self):
+        scenario, scheduler = run_cim(fail_test=True)
+        events = [str(event) for event in scheduler.history().events]
+        write = events.index("Construction.pdm_entry")
+        read = events.index("Production.read_bom")
+        unread = events.index("Production.read_bom^-1")
+        unwrite = events.index("Construction.pdm_entry^-1")
+        assert write < read < unread < unwrite

@@ -1,0 +1,132 @@
+"""Definition 8's ordering rules 3(a)-3(f), checked individually."""
+
+import pytest
+
+from repro.core.completion import complete_schedule
+from repro.core.conflict import ExplicitConflicts
+from repro.core.flex import build_process, comp, pivot, retr, seq
+from repro.core.schedule import CommitEvent, GroupAbortEvent, ProcessSchedule
+
+
+def simple(pid, *steps):
+    builders = {"c": comp, "p": pivot, "r": retr}
+    return build_process(
+        pid,
+        seq(*(builders[k](n, service=s) for n, k, s in steps)),
+    )
+
+
+class TestRule3a:
+    def test_original_order_preserved(self, fig4a):
+        completed = complete_schedule(fig4a.schedule)
+        original = [str(event) for event in fig4a.schedule.events]
+        kept = [
+            str(event)
+            for event in completed.events
+            if str(event) in set(original)
+        ]
+        assert kept == original
+
+
+class TestRule3bAnd3c:
+    def test_completion_keeps_internal_order_and_precedes_commit(self, p1):
+        schedule = ProcessSchedule([p1])
+        for name in ("a11", "a12", "a13"):
+            schedule.record("P1", name)
+        schedule.record_abort("P1")
+        completed = complete_schedule(schedule)
+        events = [str(event) for event in completed.events]
+        # C(P1) = a13^-1 ≪ a15 ≪ a16, internal order preserved (3b),
+        # after the original activities and before C_1 (3c).
+        a13_inv = events.index("P1.a13^-1")
+        assert events.index("P1.a13") < a13_inv
+        assert a13_inv < events.index("P1.a15") < events.index("P1.a16")
+        assert events.index("P1.a16") < events.index("C(P1)")
+
+
+class TestRule3d:
+    def test_conflicting_completion_activities_ordered(self):
+        """Completions of group-aborted processes with conflicting
+        activities appear in *some* definite order in S̃."""
+        left = simple("L", ("a", "c", "sa"), ("p", "p", "sp"), ("f", "r", "shared"))
+        right = simple("R", ("b", "c", "sb"), ("q", "p", "sq"), ("g", "r", "shared"))
+        conflicts = ExplicitConflicts([("shared", "shared")])
+        schedule = ProcessSchedule([left, right], conflicts)
+        schedule.record("L", "a")
+        schedule.record("L", "p")
+        schedule.record("R", "b")
+        schedule.record("R", "q")
+        completed = complete_schedule(schedule)
+        events = [str(event) for event in completed.events]
+        assert "L.f" in events and "R.g" in events
+        assert events.index("L.f") != events.index("R.g")
+        completed.validate()
+
+
+class TestRule3e:
+    def test_completion_of_mid_schedule_abort_precedes_later_conflicts(self):
+        """a_ik ≪ A(P_q) ≪ a_jl with a_qt ∈ C(P_q) conflicting a_jl
+        ⇒ a_qt ≪ a_jl: the in-place expansion realises this."""
+        q = simple("Q", ("x", "c", "sx"))
+        j = simple("J", ("y", "c", "sy"), ("z", "c", "sx2"))
+        conflicts = ExplicitConflicts([("sx", "sx2")])
+        schedule = ProcessSchedule([q, j], conflicts)
+        schedule.record("Q", "x")
+        schedule.record("J", "y")
+        schedule.record_abort("Q")      # completion contains x^-1
+        schedule.record("J", "z")      # conflicts with x (and x^-1)
+        completed = complete_schedule(schedule)
+        events = [str(event) for event in completed.events]
+        assert events.index("Q.x^-1") < events.index("J.z")
+
+    def test_resulting_completion_is_reducible(self):
+        from repro.core.reduction import is_reducible
+
+        q = simple("Q", ("x", "c", "sx"))
+        j = simple("J", ("y", "c", "sy"), ("z", "c", "sx2"))
+        conflicts = ExplicitConflicts([("sx", "sx2")])
+        schedule = ProcessSchedule([q, j], conflicts)
+        schedule.record("Q", "x")
+        schedule.record_abort("Q")
+        schedule.record("J", "y")
+        schedule.record("J", "z")
+        assert is_reducible(schedule)
+
+
+class TestRule3f:
+    def test_sequential_aborts_keep_completion_order(self):
+        """A(…P_i…) ≪ A(…P_j…) ⇒ conflicting completion activities of
+        P_i precede those of P_j."""
+        first = simple("F", ("a", "c", "shared"))
+        second = simple("S", ("b", "c", "shared"))
+        conflicts = ExplicitConflicts([("shared", "shared")])
+        schedule = ProcessSchedule([first, second], conflicts)
+        schedule.record("F", "a")
+        schedule.record_abort("F")      # expands to a^-1 here
+        schedule.record("S", "b")
+        schedule.record_abort("S")      # expands to b^-1 here
+        completed = complete_schedule(schedule)
+        events = [str(event) for event in completed.events]
+        assert events.index("F.a^-1") < events.index("S.b^-1")
+        completed.validate()
+
+
+class TestBigSoak:
+    def test_ten_process_noisy_run_certifies(self):
+        """A larger end-to-end run: 10 processes, conflicts, failures —
+        the produced history certifies PRED offline."""
+        from repro.core.pred import check_pred
+        from repro.core.scheduler import TransactionalProcessScheduler
+        from repro.sim.workload import WorkloadSpec, generate_workload
+
+        spec = WorkloadSpec(
+            processes=10, conflict_rate=0.08, failure_rate=0.08, seed=99
+        )
+        workload = generate_workload(spec)
+        scheduler = TransactionalProcessScheduler(conflicts=workload.conflicts)
+        for process in workload.processes:
+            scheduler.submit(process, failures=workload.failures)
+        history = scheduler.run()
+        assert scheduler.all_terminated()
+        result = check_pred(history)
+        assert result.is_pred, str(result)

@@ -1,0 +1,78 @@
+"""Example 1 / Figures 2-3: the valid executions of process ``P_1``."""
+
+import pytest
+
+from repro.core.flex import (
+    Outcome,
+    count_valid_executions,
+    enumerate_executions,
+    is_well_formed,
+    state_determining_activity,
+)
+from repro.scenarios.paper import process_p1
+
+
+class TestFigure2Structure:
+    def test_p1_has_well_formed_flex_structure(self, p1):
+        assert is_well_formed(p1)
+
+    def test_precedence_order(self, p1):
+        """Figure 2's solid lines."""
+        assert p1.precedes("a11", "a12")
+        assert p1.precedes("a12", "a13")
+        assert p1.precedes("a13", "a14")
+        assert p1.precedes("a12", "a15")
+        assert p1.precedes("a15", "a16")
+        assert p1.unordered("a13", "a15")
+
+    def test_preference_order(self, p1):
+        """Figure 2's dotted line: (a12 ≪ a13) ◁ (a12 ≪ a15)."""
+        assert p1.alternatives("a12") == ("a13", "a15")
+
+    def test_state_determining_activity_is_a12(self, p1):
+        """Example 2: the pivot a12 is s_{1_0} of P1."""
+        assert state_determining_activity(p1) == "a12"
+
+
+class TestFigure3Executions:
+    def test_exactly_four_valid_executions(self, p1):
+        """Example 1: "four possible valid executions of P1 exist"."""
+        assert count_valid_executions(p1) == 4
+
+    def test_execution_shapes(self, p1):
+        effects = {path.effects for path in enumerate_executions(p1)}
+        assert effects == {
+            # preferred path commits
+            ("a11", "a12", "a13", "a14"),
+            # a13 failed: alternative runs directly
+            ("a11", "a12", "a15", "a16"),
+            # a14 failed: a13 compensated, then the alternative
+            ("a11", "a12", "a13", "a13^-1", "a15", "a16"),
+            # backward recovery (abort) before the pivot committed
+            ("a11", "a11^-1"),
+        }
+
+    def test_committing_executions_all_reach_an_end(self, p1):
+        for path in enumerate_executions(p1):
+            if path.outcome is Outcome.COMMIT:
+                assert path.committed_activities[-1] in ("a14", "a16")
+
+    def test_paper_semantics_a15_requires_a13_failed_or_compensated(self, p1):
+        """§3.1: if a15 executes, a13 failed, or a13 and a13^-1 executed."""
+        for path in enumerate_executions(p1):
+            effects = path.effects
+            if "a15" in effects:
+                failed_a13 = "a13" not in effects
+                compensated_a13 = (
+                    "a13" in effects and "a13^-1" in effects
+                )
+                assert failed_a13 or compensated_a13
+
+    def test_aborting_execution_is_effect_free(self, p1):
+        aborts = [
+            path
+            for path in enumerate_executions(p1)
+            if path.outcome is Outcome.ABORT
+        ]
+        assert len(aborts) == 1
+        assert aborts[0].is_effect_free()

@@ -1,0 +1,59 @@
+"""Example 2: recovery states and completions of ``P_1``."""
+
+import pytest
+
+from repro.core.instance import ProcessInstance, RecoveryState
+
+
+def advanced(p1, *names):
+    instance = ProcessInstance(p1)
+    for name in names:
+        assert instance.next_action().activity == name
+        instance.on_committed(name)
+    return instance
+
+
+class TestExample2:
+    def test_b_rec_before_a12_commits(self, p1):
+        """Before the successful termination of a12, P1 is in B-REC."""
+        assert (
+            advanced(p1).recovery_state() is RecoveryState.B_REC
+        )
+        assert (
+            advanced(p1, "a11").recovery_state() is RecoveryState.B_REC
+        )
+
+    def test_completion_in_b_rec_is_a11_inverse(self, p1):
+        """In B-REC, C(P1) consists of {a11^-1} once a11 executed."""
+        completion = advanced(p1, "a11").completion()
+        assert completion.compensations == ("a11",)
+        assert completion.forward == ()
+
+    def test_f_rec_after_a12_commits(self, p1):
+        """After successful termination of a12, P1 is in F-REC."""
+        assert (
+            advanced(p1, "a11", "a12").recovery_state()
+            is RecoveryState.F_REC
+        )
+
+    def test_completion_after_a13(self, p1):
+        """After a13 terminated successfully, C(P1) = {a13^-1 ≪ a15 ≪ a16}."""
+        completion = advanced(p1, "a11", "a12", "a13").completion()
+        assert completion.compensations == ("a13",)
+        assert completion.forward == ("a15", "a16")
+
+    def test_completion_ordering_as_activity_ids(self, p1):
+        completion = advanced(p1, "a11", "a12", "a13").completion()
+        ordered = [str(i) for i in completion.activity_ids("P1")]
+        assert ordered == ["P1.a13^-1", "P1.a15", "P1.a16"]
+
+    def test_f_rec_completion_after_a12_only(self, p1):
+        """Abort right after the pivot: only the lowest-priority,
+        all-retriable alternative is considered (§3.1)."""
+        completion = advanced(p1, "a11", "a12").completion()
+        assert completion.compensations == ()
+        assert completion.forward == ("a15", "a16")
+
+    def test_completion_empty_after_full_path(self, p1):
+        completion = advanced(p1, "a11", "a12", "a13", "a14").completion()
+        assert completion.is_empty

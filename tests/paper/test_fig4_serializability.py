@@ -1,0 +1,60 @@
+"""Figure 4 / Examples 3-4: serializable and non-serializable executions."""
+
+import pytest
+
+
+class TestExample3NonSerializable:
+    def test_sprime_t2_is_not_serializable(self, fig4b):
+        """Example 3: S'_t2 contains cyclic dependencies P1 ⇄ P2."""
+        assert not fig4b.at_t2().is_serializable()
+
+    def test_cycle_is_between_p1_and_p2(self, fig4b):
+        assert fig4b.at_t2().cycles() == [("P1", "P2", "P1")]
+
+    def test_conflicting_pairs_as_stated(self, fig4b):
+        """The dashed arcs: (a11,a21), (a12,a24); a15/a25 not executed."""
+        pairs = {
+            (str(left), str(right))
+            for _, left, _, right in fig4b.at_t2().conflicting_pairs()
+        }
+        assert pairs == {
+            ("P1.a11", "P2.a21"),
+            ("P2.a24", "P1.a12"),
+        }
+
+    def test_schedule_is_legal_despite_cycle(self, fig4b):
+        """Definition 7.1 holds for S' — legality is orthogonal to
+        serializability."""
+        assert fig4b.schedule.is_legal()
+
+
+class TestExample4Serializable:
+    def test_s_t2_is_serializable(self, fig4a):
+        assert fig4a.at_t2().is_serializable()
+
+    def test_serialization_order_p1_before_p2(self, fig4a):
+        assert fig4a.at_t2().serialization_order() == ["P1", "P2"]
+
+    def test_order_constraints_match_example4(self, fig4a):
+        """≪_S contains (a11 ≪ a21) and (a12 ≪ a24)."""
+        pairs = {
+            (str(left), str(right))
+            for _, left, _, right in fig4a.at_t2().conflicting_pairs()
+        }
+        assert ("P1.a11", "P2.a21") in pairs
+        assert ("P1.a12", "P2.a24") in pairs
+
+    def test_intra_process_orders_respected(self, fig4a):
+        """Definition 7.1: ≪_i ⊆ ≪_S for both processes."""
+        events = [str(event) for event in fig4a.schedule.events]
+        assert events.index("P1.a11") < events.index("P1.a12")
+        assert events.index("P1.a12") < events.index("P1.a13")
+        for before, after in (
+            ("P2.a21", "P2.a22"),
+            ("P2.a22", "P2.a23"),
+            ("P2.a23", "P2.a24"),
+        ):
+            assert events.index(before) < events.index(after)
+
+    def test_both_processes_active_at_t2(self, fig4a):
+        assert set(fig4a.at_t2().active_processes()) == {"P1", "P2"}

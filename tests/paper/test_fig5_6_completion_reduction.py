@@ -1,0 +1,103 @@
+"""Figures 5-6 / Examples 5-6: completed schedules and reduction."""
+
+import pytest
+
+from repro.core.completion import complete_schedule
+from repro.core.reduction import reduce_schedule
+from repro.core.schedule import CommitEvent, GroupAbortEvent
+
+
+class TestExample5CompletedSchedule:
+    def test_group_abort_added_for_active_processes(self, fig4a):
+        """Both processes are active at t2, so A(P1, P2) is appended."""
+        completed = complete_schedule(fig4a.at_t2())
+        group_aborts = [
+            event
+            for event in completed.events
+            if isinstance(event, GroupAbortEvent)
+        ]
+        assert len(group_aborts) == 1
+        assert set(group_aborts[0].process_ids) == {"P1", "P2"}
+
+    def test_completion_activities_added(self, fig4a):
+        """Ã_{S_t2} adds {a13^-1, a15, a16} for P1 and {a25} for P2."""
+        completed = complete_schedule(fig4a.at_t2())
+        added = {str(event) for _, event in completed.completion_events()}
+        assert added == {"P1.a13^-1", "P1.a15", "P1.a16", "P2.a25"}
+
+    def test_order_constraints_of_example5(self, fig4a):
+        """a13 ≪ a13^-1 ≪ a15 ≪ a16, a24 ≪ a25, a15 ≪ a25."""
+        completed = complete_schedule(fig4a.at_t2())
+        text = [str(event) for event in completed.events]
+        for before, after in (
+            ("P1.a13", "P1.a13^-1"),
+            ("P1.a13^-1", "P1.a15"),
+            ("P1.a15", "P1.a16"),
+            ("P2.a24", "P2.a25"),
+            ("P1.a15", "P2.a25"),
+        ):
+            assert text.index(before) < text.index(after), (before, after)
+
+    def test_aborts_become_commits(self, fig4a):
+        """Definition 8 2(c): the abort activity becomes C_i."""
+        completed = complete_schedule(fig4a.at_t2())
+        commits = [
+            event.process_id
+            for event in completed.events
+            if isinstance(event, CommitEvent)
+        ]
+        assert set(commits) == {"P1", "P2"}
+
+    def test_completed_schedule_is_serializable(self, fig4a):
+        """Example 5: no cyclic dependencies exist in S̃_t2."""
+        assert complete_schedule(fig4a.at_t2()).is_serializable()
+
+
+class TestExample6Reduction:
+    def test_compensation_rule_removes_a13_pair(self, fig4a):
+        """Only a13 and a13^-1 can be removed (Example 6)."""
+        result = reduce_schedule(fig4a.at_t2())
+        assert [str(pair) for pair in result.cancelled_pairs] == ["P1.a13"]
+
+    def test_reduced_schedule_is_serial_equivalent(self, fig4a):
+        """The reduced schedule contains only P1→P2 dependencies."""
+        result = reduce_schedule(fig4a.at_t2())
+        assert result.is_reducible
+        assert result.serial_order == ("P1", "P2")
+
+    def test_s_t2_is_red(self, fig4a):
+        """Therefore, process schedule S_t2 is RED."""
+        assert reduce_schedule(fig4a.at_t2()).is_reducible
+
+    def test_residual_matches_figure6b(self, fig4a):
+        """Figure 6(b): the reduced schedule without the a13 pair."""
+        result = reduce_schedule(fig4a.at_t2())
+        residual = [str(event) for event in result.residual]
+        assert residual == [
+            "P1.a11",
+            "P2.a21",
+            "P2.a22",
+            "P2.a23",
+            "P1.a12",
+            "P2.a24",
+            "P1.a15",
+            "P1.a16",
+            "P2.a25",
+        ]
+
+
+class TestFigure5BackwardAndForwardPaths:
+    def test_b_rec_process_contributes_compensations(self, fig4a):
+        """Figure 5: backward recovery path for B-REC processes."""
+        prefix = fig4a.schedule.prefix(1)  # only a11 executed
+        completed = complete_schedule(prefix)
+        added = [str(event) for _, event in completed.completion_events()]
+        assert added == ["P1.a11^-1"]
+
+    def test_f_rec_process_contributes_forward_path(self, fig4a):
+        """Figure 5: forward recovery path for F-REC processes."""
+        completed = complete_schedule(fig4a.at_t1())
+        added = [str(event) for _, event in completed.completion_events()]
+        # P1 (B-REC): a11^-1; P2 (F-REC after a23): a24 a25 forward.
+        assert "P1.a11^-1" in added
+        assert "P2.a24" in added and "P2.a25" in added

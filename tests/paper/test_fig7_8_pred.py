@@ -1,0 +1,69 @@
+"""Figures 7-8 / Examples 7-9: prefix-reducibility."""
+
+import pytest
+
+from repro.core.pred import check_pred, is_prefix_reducible
+from repro.core.reduction import is_reducible, reduce_schedule
+
+
+class TestExample7And9Fig7:
+    def test_s_doubleprime_is_red(self, fig7):
+        """Example 7: completing S'' orders all conflicts consistently."""
+        assert is_reducible(fig7.at_t1())
+
+    def test_every_prefix_is_reducible(self, fig7):
+        """Example 9: each prefix S''_{t'} with t' < t1 is reducible."""
+        for length in range(fig7.t1 + 1):
+            assert is_reducible(fig7.schedule.prefix(length)), length
+
+    def test_s_doubleprime_is_pred(self, fig7):
+        """Therefore, process schedule S''_t1 is PRED."""
+        assert is_prefix_reducible(fig7.schedule)
+
+    def test_full_run_is_serializable(self, fig7):
+        assert fig7.schedule.is_serializable()
+
+
+class TestExample8Fig8:
+    def test_prefix_s_t1_is_not_reducible(self, fig4a):
+        """Scheduling a11^-1 creates the cycle a11 ≪ a21 ≪ a11^-1 that
+        cannot be eliminated: compensation of a21 is not available
+        (P2 is in F-REC)."""
+        result = reduce_schedule(fig4a.at_t1())
+        assert not result.is_reducible
+        assert set(result.witness_cycle) == {"P1", "P2"}
+
+    def test_cycle_events_present_in_completion(self, fig4a):
+        """Figure 8 shows S̃_t1 with a11^-1 after a21."""
+        result = reduce_schedule(fig4a.at_t1())
+        text = [str(event) for event in result.completed.events]
+        assert text.index("P1.a11") < text.index("P2.a21")
+        assert text.index("P2.a21") < text.index("P1.a11^-1")
+
+    def test_s_t2_is_therefore_not_pred(self, fig4a):
+        """S_t1 not reducible ⇒ S_t2 not prefix-reducible."""
+        result = check_pred(fig4a.at_t2())
+        assert not result.is_pred
+        assert result.violating_prefix_length == fig4a.t1
+
+    def test_p2_forward_path_in_completion(self, fig4a):
+        """Not only compensation: P2's forward recovery path must be
+        executed in the completion (the crucial difference from the
+        classical undo procedure)."""
+        result = reduce_schedule(fig4a.at_t1())
+        added = [str(e) for _, e in result.completed.completion_events()]
+        assert "P2.a24" in added and "P2.a25" in added
+
+    def test_classical_undo_contrast(self, p1, p2):
+        """§3.3 discussion: were all inverses available (classical undo),
+        the prefix would reduce.  We emulate it by stopping P2 before
+        its pivot: everything executed is then compensatable and the
+        same prefix shape becomes reducible."""
+        from repro.core.schedule import ProcessSchedule
+        from repro.scenarios.paper import paper_conflicts
+
+        schedule = ProcessSchedule([p1, p2], paper_conflicts())
+        schedule.record("P1", "a11")
+        schedule.record("P2", "a21")
+        schedule.record("P2", "a22")  # stop before the pivot a23
+        assert is_reducible(schedule)

@@ -1,0 +1,75 @@
+"""Figure 9 / Example 10: exploiting the quasi-commit of pivots."""
+
+import pytest
+
+from repro.core.pred import check_pred, is_prefix_reducible
+from repro.core.reduction import reduce_schedule
+from repro.core.scheduler import SchedulerRules, TransactionalProcessScheduler
+from repro.scenarios.paper import figure9_conflicts, process_p1, process_p3
+
+
+class TestExample10:
+    def test_interleaving_is_correct(self, fig9):
+        """a11 and a31 conflict, yet executing a31 after P1's pivot is
+        correct: P1 is in F-REC, compensation of a11 is unavailable, so
+        no conflict cycle can appear through a11^-1."""
+        assert is_prefix_reducible(fig9.schedule)
+
+    def test_completion_contains_no_a11_inverse(self, fig9):
+        completed = reduce_schedule(fig9.at_t1()).completed
+        added = [str(event) for _, event in completed.completion_events()]
+        assert "P1.a11^-1" not in added
+        # P1 forward-recovers instead.
+        assert "P1.a15" in added and "P1.a16" in added
+
+    def test_without_quasi_commit_not_pred(self, fig9_incorrect):
+        """The same conflict with P3 advancing before P1's pivot breaks
+        PRED (Example 8's pattern)."""
+        result = check_pred(fig9_incorrect.schedule)
+        assert not result.is_pred
+
+    def test_cycle_witness_names_both_processes(self, fig9_incorrect):
+        result = check_pred(fig9_incorrect.schedule)
+        assert set(result.violation.witness_cycle) == {"P1", "P3"}
+
+
+class TestSchedulerExploitsQuasiCommit:
+    def test_online_scheduler_produces_pred_interleaving(self):
+        """The online scheduler interleaves P1 and P3 despite the
+        a11/a31 conflict and certifies PRED throughout (paranoid)."""
+        scheduler = TransactionalProcessScheduler(
+            conflicts=figure9_conflicts(),
+            rules=SchedulerRules(paranoid=True),
+        )
+        scheduler.submit(process_p1())
+        scheduler.submit(process_p3())
+        history = scheduler.run()
+        assert is_prefix_reducible(history)
+        assert history.committed_processes() == frozenset({"P1", "P3"})
+
+    def test_conflicting_compensatable_admitted_early(self):
+        """a31 is compensatable: the scheduler may admit it while P1 is
+        still backward-recoverable — a later abort of P1 cascades."""
+        scheduler = TransactionalProcessScheduler(
+            conflicts=figure9_conflicts(),
+            rules=SchedulerRules(paranoid=True),
+        )
+        scheduler.submit(process_p1())
+        scheduler.submit(process_p3())
+        scheduler.step("P1")               # a11: P1 in B-REC
+        assert scheduler.step("P3")        # a31 admitted (compensatable)
+        events = [str(e) for e in scheduler.history().events]
+        assert events == ["P1.a11", "P3.a31"]
+
+    def test_p3_pivot_deferred_until_c1_lemma1(self):
+        """Lemma 1: P3's non-compensatable a32 conflicts-follows the
+        active P1 (through a11 ≪ a31) and must wait for C_1."""
+        scheduler = TransactionalProcessScheduler(
+            conflicts=figure9_conflicts(),
+            rules=SchedulerRules(paranoid=True),
+        )
+        scheduler.submit(process_p1())
+        scheduler.submit(process_p3())
+        history = scheduler.run()
+        events = [str(event) for event in history.events]
+        assert events.index("C(P1)") < events.index("P3.a32")

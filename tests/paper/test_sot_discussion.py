@@ -1,0 +1,133 @@
+"""§3.5's negative result: no SOT-like criterion exists for processes.
+
+[AVA+94]'s SOT decides correctness from the schedule ``S`` alone.  The
+paper argues this cannot work for transactional processes: "arbitrary
+conflicts can be introduced to S̃ when non-compensatable activities of
+C(P_i) of aborted processes have to be considered", so any criterion
+must look at the *completed* schedule.
+
+We prove the point constructively: two process schedules with **the
+same event sequence and the same conflicts among executed services**
+get different correctness verdicts, because they differ only in a
+*never-executed* forward-recovery activity — information no function of
+``S`` alone can see.
+"""
+
+import pytest
+
+from repro.core.conflict import ExplicitConflicts
+from repro.core.flex import build_process, comp, pivot, retr, seq
+from repro.core.pred import check_pred
+from repro.core.schedule import ProcessSchedule
+
+
+def processes(forward_service: str):
+    """P's forward-recovery activity uses ``forward_service``."""
+    p = build_process(
+        "P",
+        seq(
+            comp("a", service="sA"),
+            pivot("p", service="sP"),
+            retr("r", service=forward_service),
+        ),
+    )
+    q = build_process(
+        "Q",
+        seq(
+            comp("q1", service="sQ1"),
+            pivot("qp", service="sQP"),
+        ),
+    )
+    return p, q
+
+
+def record_same_events(p, q, conflicts):
+    schedule = ProcessSchedule([p, q], conflicts)
+    schedule.record("P", "a")      # conflicts with Q.q1
+    schedule.record("P", "p")      # P's pivot: P enters F-REC
+    schedule.record("Q", "q1")     # edge P → Q
+    schedule.record("Q", "qp")     # Q's pivot: q1 can no longer be undone
+    return schedule
+
+
+#: Conflicts among *executed* services are identical in both variants;
+#: "sHot" additionally conflicts with Q's executed q1 — but sHot is only
+#: ever the service of P's unexecuted forward-recovery activity.
+CONFLICTS = ExplicitConflicts([("sA", "sQ1"), ("sHot", "sQ1")])
+
+
+class TestNoSotCriterion:
+    def test_same_events_same_executed_conflicts(self):
+        p_cold, q1 = processes("sCold")
+        p_hot, q2 = processes("sHot")
+        cold = record_same_events(p_cold, q1, CONFLICTS)
+        hot = record_same_events(p_hot, q2, CONFLICTS)
+        # the observable schedules are identical
+        assert [str(e) for e in cold.events] == [str(e) for e in hot.events]
+        # and so are the conflicts among the *executed* activities
+        cold_pairs = {
+            (str(l), str(r)) for _, l, _, r in cold.conflicting_pairs()
+        }
+        hot_pairs = {
+            (str(l), str(r)) for _, l, _, r in hot.conflicting_pairs()
+        }
+        assert cold_pairs == hot_pairs
+
+    def test_verdicts_differ(self):
+        """Identical S, different PRED verdicts ⇒ no function of S alone
+        (an SOT-like criterion) can decide correctness."""
+        p_cold, q1 = processes("sCold")
+        p_hot, q2 = processes("sHot")
+        cold = record_same_events(p_cold, q1, CONFLICTS)
+        hot = record_same_events(p_hot, q2, CONFLICTS)
+        assert check_pred(cold).is_pred
+        assert not check_pred(hot).is_pred
+
+    def test_difference_comes_from_the_completion(self):
+        """The hot variant's violation involves P's never-executed
+        forward-recovery activity r — visible only in S̃."""
+        from repro.core.reduction import reduce_schedule
+
+        p_hot, q = processes("sHot")
+        hot = record_same_events(p_hot, q, CONFLICTS)
+        result = check_pred(hot)
+        violation = result.violation
+        assert violation is not None
+        residual = [str(event) for event in violation.residual]
+        assert "P.r" in residual  # the forward-recovery activity
+        assert set(violation.witness_cycle) == {"P", "Q"}
+
+    def test_online_scheduler_sees_the_difference(self):
+        """The constructive protocol consults the completion forward
+        paths, so it schedules the two variants differently: in the hot
+        variant even the *compensatable* q1 is deferred — executing it
+        would make the completed prefix irreducible (q1 would both
+        depend on P and have to precede P's forward recovery)."""
+        from repro.core.scheduler import (
+            SchedulerRules,
+            TransactionalProcessScheduler,
+        )
+
+        def run(forward_service):
+            p, q = processes(forward_service)
+            scheduler = TransactionalProcessScheduler(
+                conflicts=CONFLICTS, rules=SchedulerRules(paranoid=True)
+            )
+            scheduler.submit(p)
+            scheduler.submit(q)
+            scheduler.step("P")        # a
+            scheduler.step("P")        # P's pivot (hardens)
+            progressed = scheduler.step("Q")   # q1: conflicting w/ a
+            return scheduler, progressed
+
+        cold_scheduler, cold_progressed = run("sCold")
+        hot_scheduler, hot_progressed = run("sHot")
+        assert cold_progressed
+        assert not hot_progressed
+        hot_managed = hot_scheduler.managed("Q")
+        assert "irreducible" in hot_managed.waiting_reason
+        # both still terminate correctly
+        cold_scheduler.run()
+        hot_scheduler.run()
+        assert cold_scheduler.all_terminated()
+        assert hot_scheduler.all_terminated()

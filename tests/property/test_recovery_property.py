@@ -1,0 +1,75 @@
+"""Property: crash recovery is correct at arbitrary crash points.
+
+For random workloads, random interleavings and a random crash round,
+restart recovery must (a) terminate every process that was active,
+(b) leave no in-doubt prepared transactions behind, and (c) produce a
+history the offline PRED checker certifies.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pred import check_pred
+from repro.core.scheduler import TransactionalProcessScheduler
+from repro.subsystems.recovery import recover
+from repro.subsystems.wal import InMemoryWAL
+
+from tests.property.strategies import conflict_relations, well_formed_processes
+
+
+def crash_run(first, second, conflicts, crash_round):
+    wal = InMemoryWAL()
+    scheduler = TransactionalProcessScheduler(conflicts=conflicts, wal=wal)
+    scheduler.submit(first, instance_id="P0")
+    scheduler.submit(second, instance_id="P1")
+    for _ in range(crash_round):
+        if scheduler.all_terminated():
+            break
+        if not scheduler.step_round():
+            scheduler.resolve_stall()
+    scheduler.crash()
+    return wal, scheduler.registry
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    first=well_formed_processes(process_id="P0"),
+    second=well_formed_processes(process_id="P1"),
+    conflicts=conflict_relations(),
+    crash_round=st.integers(min_value=0, max_value=8),
+)
+def test_recovery_terminates_and_certifies(
+    first, second, conflicts, crash_round
+):
+    wal, registry = crash_run(first, second, conflicts, crash_round)
+    report = recover(
+        wal,
+        registry,
+        {"P0": first, "P1": second},
+        conflicts=conflicts,
+    )
+    assert report.scheduler.all_terminated()
+    assert registry.prepared_transactions() == []
+    assert check_pred(report.history).is_pred, str(report.history)
+
+
+@settings(max_examples=35, deadline=None)
+@given(
+    first=well_formed_processes(process_id="P0"),
+    second=well_formed_processes(process_id="P1"),
+    conflicts=conflict_relations(),
+    crash_round=st.integers(min_value=0, max_value=6),
+)
+def test_recovery_is_idempotent_under_double_crash(
+    first, second, conflicts, crash_round
+):
+    wal, registry = crash_run(first, second, conflicts, crash_round)
+    report = recover(
+        wal, registry, {"P0": first, "P1": second}, conflicts=conflicts
+    )
+    report.scheduler.crash()
+    second_report = recover(
+        wal, registry, {"P0": first, "P1": second}, conflicts=conflicts
+    )
+    assert second_report.scheduler.all_terminated()
+    assert registry.prepared_transactions() == []

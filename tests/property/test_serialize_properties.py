@@ -1,0 +1,73 @@
+"""Property-based round-trip tests for serialization."""
+
+import json
+
+from hypothesis import given, settings
+
+from repro.core.flex import (
+    count_valid_executions,
+    is_well_formed,
+    parse_flex,
+)
+from repro.core.serialize import (
+    process_from_json,
+    process_to_json,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+
+from tests.property.strategies import conflict_relations, well_formed_processes
+
+
+@settings(max_examples=50, deadline=None)
+@given(process=well_formed_processes())
+def test_process_json_round_trip_preserves_structure(process):
+    restored = process_from_json(process_to_json(process))
+    assert restored.process_id == process.process_id
+    assert restored.activity_names == process.activity_names
+    assert list(restored.edges()) == list(process.edges())
+    for name in process.preference_sources():
+        assert restored.alternatives(name) == process.alternatives(name)
+
+
+@settings(max_examples=50, deadline=None)
+@given(process=well_formed_processes())
+def test_round_trip_preserves_well_formedness_and_executions(process):
+    restored = process_from_json(process_to_json(process))
+    assert is_well_formed(restored)
+    assert count_valid_executions(restored, max_failures=1) == (
+        count_valid_executions(process, max_failures=1)
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(process=well_formed_processes())
+def test_encoding_is_stable(process):
+    """Serializing twice yields byte-identical JSON (sorted keys)."""
+    assert process_to_json(process) == process_to_json(
+        process_from_json(process_to_json(process))
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    process=well_formed_processes(),
+    conflicts=conflict_relations(),
+)
+def test_schedule_round_trip_preserves_verdicts(process, conflicts):
+    from repro.core.flex import simulate
+    from repro.core.pred import check_pred
+    from repro.core.schedule import ProcessSchedule
+
+    schedule = ProcessSchedule([process], conflicts)
+    for name in simulate(process).committed_activities:
+        schedule.record(process.process_id, name)
+    payload = schedule_to_dict(schedule)
+    json.dumps(payload)  # must be JSON-safe
+    restored = schedule_from_dict(payload)
+    assert [str(e) for e in restored.events] == [
+        str(e) for e in schedule.events
+    ]
+    assert (
+        check_pred(restored).is_pred == check_pred(schedule).is_pred
+    )

@@ -1,0 +1,112 @@
+"""Property-based tests on subsystems: atomicity and compensation.
+
+These certify the §2.3 assumptions the theory rests on: service
+invocations are atomic, and for every compensatable service the pair
+``⟨a, a^{-1}⟩`` is effect-free on the store (Definition 2).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TransactionAborted
+from repro.subsystems.failures import FailurePlan
+from repro.subsystems.services import (
+    append_service,
+    counter_service,
+    flag_service,
+)
+from repro.subsystems.subsystem import Subsystem
+
+amounts = st.integers(min_value=-5, max_value=5).filter(lambda x: x != 0)
+items = st.text(
+    alphabet="abcdefgh", min_size=1, max_size=4
+)
+
+
+def fresh_subsystem():
+    subsystem = Subsystem(
+        "s", initial_state={"count": 0, "items": [], "flag": False}
+    )
+    subsystem.register(counter_service("inc", "count"))
+    subsystem.register(append_service("add", "items"))
+    subsystem.register(flag_service("mark", "flag"))
+    return subsystem
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    operations=st.lists(
+        st.tuples(st.sampled_from(["inc", "add", "mark"]), items),
+        min_size=1,
+        max_size=8,
+    )
+)
+def test_lifo_compensation_restores_snapshot(operations):
+    """Compensating a sequence of compensatable services in reverse
+    order is effect-free on the store values."""
+    subsystem = fresh_subsystem()
+    before = subsystem.store.snapshot()
+    for service, item in operations:
+        subsystem.invoke(service, params={"item": item})
+    for service, item in reversed(operations):
+        subsystem.invoke(service + "~inv", params={"item": item})
+    assert subsystem.store.snapshot() == before
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    operations=st.lists(
+        st.sampled_from(["inc", "add", "mark"]), min_size=1, max_size=6
+    ),
+    fail_at=st.integers(min_value=0, max_value=5),
+)
+def test_failed_invocation_leaves_no_effect(operations, fail_at):
+    """Atomicity: an aborted invocation changes nothing."""
+    subsystem = fresh_subsystem()
+    for index, service in enumerate(operations):
+        snapshot = subsystem.store.snapshot()
+        if index == fail_at:
+            try:
+                subsystem.invoke(
+                    service,
+                    params={"item": "x"},
+                    failures=FailurePlan.fail_once([service]),
+                )
+            except TransactionAborted:
+                pass
+            assert subsystem.store.snapshot() == snapshot
+        else:
+            subsystem.invoke(service, params={"item": "x"})
+
+
+@settings(max_examples=50, deadline=None)
+@given(n=st.integers(min_value=1, max_value=10))
+def test_prepared_invocations_invisible_until_commit(n):
+    subsystem = Subsystem("s", initial_state={"count": 0})
+    subsystem.register(counter_service("inc", "count"))
+    invocation = subsystem.invoke("inc", hold=True)
+    for _ in range(n - 1):
+        pass
+    assert subsystem.store.get("count") == 0
+    subsystem.commit_prepared(invocation.txn_id)
+    assert subsystem.store.get("count") == 1
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    values=st.lists(items, min_size=1, max_size=6),
+)
+def test_rollback_of_prepared_is_effect_free(values):
+    subsystem = fresh_subsystem()
+    before = subsystem.store.snapshot()
+    held = []
+    for value in values:
+        held.append(
+            subsystem.invoke("inc", hold=True)
+            if value[0] < "d"
+            else subsystem.invoke("mark", hold=True)
+        )
+        # holding conflicts with further invocations on the same key, so
+        # roll back immediately before the next one
+        subsystem.rollback_prepared(held[-1].txn_id)
+    assert subsystem.store.snapshot() == before

@@ -1,0 +1,117 @@
+"""Property-based tests on the offline theory (Definitions 6-11)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.completion import complete_schedule
+from repro.core.pred import is_prefix_reducible
+from repro.core.reduction import is_reducible, reduce_schedule
+from repro.core.schedule import ProcessSchedule
+
+from tests.property.strategies import conflict_relations, well_formed_processes
+
+
+@st.composite
+def random_schedules(draw):
+    """Legal interleavings of two random processes' preferred paths."""
+    first = draw(well_formed_processes(process_id="P0"))
+    second = draw(well_formed_processes(process_id="P1"))
+    conflicts = draw(conflict_relations())
+    seed = draw(st.integers(0, 100_000))
+    commit_fraction = draw(st.sampled_from([0.0, 0.5, 1.0]))
+    rng = random.Random(seed)
+
+    from repro.core.flex import simulate
+
+    paths = {
+        "P0": list(simulate(first).committed_activities),
+        "P1": list(simulate(second).committed_activities),
+    }
+    schedule = ProcessSchedule([first, second], conflicts)
+    remaining = {pid: list(path) for pid, path in paths.items()}
+    # possibly truncate to leave processes active
+    for pid in remaining:
+        if rng.random() > commit_fraction:
+            cut = rng.randint(0, len(remaining[pid]))
+            remaining[pid] = remaining[pid][:cut]
+    to_commit = {
+        pid
+        for pid in remaining
+        if remaining[pid] == paths[pid] and rng.random() < 0.8
+    }
+    while any(remaining.values()):
+        pid = rng.choice([p for p, rest in remaining.items() if rest])
+        schedule.record(pid, remaining[pid].pop(0))
+        if not remaining[pid] and pid in to_commit:
+            schedule.record_commit(pid)
+    return schedule
+
+
+@settings(max_examples=60, deadline=None)
+@given(schedule=random_schedules())
+def test_completion_makes_every_process_commit(schedule):
+    completed = complete_schedule(schedule)
+    participating = {
+        event.process_id
+        for _, event in schedule.activity_events()
+    }
+    assert participating <= completed.committed_processes() | frozenset()
+
+
+@settings(max_examples=60, deadline=None)
+@given(schedule=random_schedules())
+def test_completion_is_idempotent(schedule):
+    completed = complete_schedule(schedule)
+    again = complete_schedule(completed)
+    assert [str(e) for e in again.events] == [str(e) for e in completed.events]
+
+
+@settings(max_examples=60, deadline=None)
+@given(schedule=random_schedules())
+def test_completed_schedules_are_legal(schedule):
+    complete_schedule(schedule).validate()
+
+
+@settings(max_examples=60, deadline=None)
+@given(schedule=random_schedules())
+def test_reduction_residual_has_no_compensations_of_cancelled_pairs(schedule):
+    result = reduce_schedule(schedule)
+    cancelled = {str(pair) for pair in result.cancelled_pairs}
+    for event in result.residual:
+        if event.is_compensation:
+            assert str(event.activity.forward) not in cancelled
+
+
+@settings(max_examples=60, deadline=None)
+@given(schedule=random_schedules())
+def test_pred_implies_reducible(schedule):
+    """PRED is RED applied to every prefix, so PRED ⊆ RED."""
+    if is_prefix_reducible(schedule):
+        assert is_reducible(schedule)
+
+
+@settings(max_examples=60, deadline=None)
+@given(schedule=random_schedules())
+def test_pred_implies_committed_projection_serializable(schedule):
+    """Theorem 1 (serializability half) over random schedules."""
+    if is_prefix_reducible(schedule):
+        assert schedule.committed_projection().is_serializable()
+
+
+@settings(max_examples=60, deadline=None)
+@given(schedule=random_schedules())
+def test_serial_prefixes_of_pred_schedule_stay_pred(schedule):
+    if is_prefix_reducible(schedule):
+        for length in (0, len(schedule) // 2, len(schedule)):
+            assert is_prefix_reducible(schedule.prefix(length))
+
+
+@settings(max_examples=40, deadline=None)
+@given(schedule=random_schedules())
+def test_reduction_is_deterministic(schedule):
+    first = reduce_schedule(schedule)
+    second = reduce_schedule(schedule)
+    assert first.is_reducible == second.is_reducible
+    assert [str(e) for e in first.residual] == [str(e) for e in second.residual]

@@ -1,0 +1,105 @@
+"""Unit tests for transactional coordination agents (§2.3)."""
+
+import pytest
+
+from repro.errors import TransactionAborted
+from repro.subsystems.agent import ApplicationOperation, CoordinationAgent
+
+
+class FakeApplication:
+    """A non-transactional application with observable side effects."""
+
+    def __init__(self):
+        self.documents = []
+        self.emails_sent = 0
+
+    def save_document(self, params):
+        self.documents.append(params["name"])
+        return len(self.documents)
+
+    def delete_document(self, params, result):
+        self.documents.remove(params["name"])
+
+    def send_email(self, params):
+        self.emails_sent += 1
+        return self.emails_sent
+
+
+@pytest.fixture
+def wrapped():
+    app = FakeApplication()
+    agent = CoordinationAgent("docstore")
+    agent.wrap(
+        ApplicationOperation(
+            name="save_doc",
+            call=app.save_document,
+            undo=app.delete_document,
+            writes=frozenset({"documents"}),
+        )
+    )
+    agent.wrap(
+        ApplicationOperation(
+            name="send_email",
+            call=app.send_email,
+            writes=frozenset({"outbox"}),
+        )
+    )
+    return app, agent
+
+
+class TestForwardCalls:
+    def test_call_reaches_application(self, wrapped):
+        app, agent = wrapped
+        invocation = agent.invoke("save_doc", params={"name": "spec.pdf"})
+        assert app.documents == ["spec.pdf"]
+        assert invocation.return_value == 1
+
+    def test_journal_tracks_calls(self, wrapped):
+        app, agent = wrapped
+        agent.invoke("save_doc", params={"name": "a"})
+        agent.invoke("save_doc", params={"name": "b"})
+        assert agent.journal_depth("save_doc") == 2
+
+    def test_operation_without_undo_has_no_inverse_service(self, wrapped):
+        app, agent = wrapped
+        assert agent.provides("send_email")
+        assert not agent.provides("send_email~inv")
+
+
+class TestCompensation:
+    def test_compensation_replays_undo(self, wrapped):
+        app, agent = wrapped
+        agent.invoke("save_doc", params={"name": "spec.pdf"})
+        agent.invoke("save_doc~inv", params={"name": "spec.pdf"})
+        assert app.documents == []
+        assert agent.journal_depth("save_doc") == 0
+
+    def test_compensation_is_lifo(self, wrapped):
+        app, agent = wrapped
+        agent.invoke("save_doc", params={"name": "a"})
+        agent.invoke("save_doc", params={"name": "b"})
+        agent.invoke("save_doc~inv", params={"name": "b"})
+        assert app.documents == ["a"]
+
+    def test_compensation_without_journal_aborts(self, wrapped):
+        app, agent = wrapped
+        with pytest.raises(TransactionAborted):
+            agent.invoke("save_doc~inv", params={"name": "ghost"})
+
+
+class TestConflictFootprints:
+    def test_declared_footprints_create_conflicts(self, wrapped):
+        app, agent = wrapped
+        from repro.subsystems.subsystem import SubsystemRegistry
+
+        registry = SubsystemRegistry([agent])
+        conflicts = registry.semantic_conflicts()
+        assert conflicts.conflicts("save_doc", "save_doc")
+        assert conflicts.commute("save_doc", "send_email")
+
+    def test_compensation_shares_forward_conflicts(self, wrapped):
+        app, agent = wrapped
+        from repro.subsystems.subsystem import SubsystemRegistry
+
+        conflicts = SubsystemRegistry([agent]).semantic_conflicts()
+        assert conflicts.conflicts("save_doc~inv", "save_doc")

@@ -1,0 +1,133 @@
+"""Unit tests for graph utilities, ASCII rendering and report tables."""
+
+import pytest
+
+from repro.analysis.graphs import (
+    conflict_graph,
+    find_cycle,
+    reachable,
+    topological_order,
+    transitive_closure,
+)
+from repro.analysis.report import format_table
+from repro.analysis.viz import render_conflicts, render_process, render_schedule
+from repro.scenarios.paper import process_p1, schedule_fig4a, schedule_fig4b
+
+
+class TestGraphUtilities:
+    def test_topological_order(self):
+        graph = {"a": {"b"}, "b": {"c"}, "c": set()}
+        assert topological_order(graph) == ["a", "b", "c"]
+
+    def test_topological_order_cyclic_returns_none(self):
+        assert topological_order({"a": {"b"}, "b": {"a"}}) is None
+
+    def test_topological_order_includes_edge_only_nodes(self):
+        assert set(topological_order({"a": {"b"}})) == {"a", "b"}
+
+    def test_find_cycle(self):
+        cycle = find_cycle({"a": {"b"}, "b": {"c"}, "c": {"a"}})
+        assert cycle is not None
+        assert cycle[0] == cycle[-1]
+        assert set(cycle) == {"a", "b", "c"}
+
+    def test_find_cycle_none_on_dag(self):
+        assert find_cycle({"a": {"b"}, "b": set()}) is None
+
+    def test_reachable(self):
+        graph = {"a": {"b"}, "b": {"c"}, "c": set()}
+        assert reachable(graph, "a") == {"b", "c"}
+        assert reachable(graph, "c") == set()
+
+    def test_transitive_closure(self):
+        closure = transitive_closure({"a": {"b"}, "b": {"c"}, "c": set()})
+        assert closure["a"] == {"b", "c"}
+
+    def test_conflict_graph_matches_schedule(self):
+        marked = schedule_fig4b()
+        graph = conflict_graph(marked.schedule)
+        assert "P2" in graph["P1"] and "P1" in graph["P2"]
+        assert find_cycle(graph) is not None
+
+
+class TestRendering:
+    def test_render_process_shows_alternatives(self):
+        text = render_process(process_p1())
+        assert "Process P1" in text
+        assert "a11^c" in text and "a12^p" in text
+        assert "alternative 1" in text and "alternative 2" in text
+
+    def test_render_schedule_has_lane_per_process(self):
+        text = render_schedule(schedule_fig4a().schedule)
+        lines = text.splitlines()
+        assert lines[0].startswith("P1 |")
+        assert lines[1].startswith("P2 |")
+        assert "time →" in lines[-1]
+
+    def test_render_schedule_marks_compensations(self):
+        marked = schedule_fig4a()
+        marked.schedule.record_compensation("P1", "a13")
+        assert "a13⁻¹" in render_schedule(marked.schedule)
+
+    def test_render_conflicts(self):
+        text = render_conflicts(schedule_fig4a().schedule)
+        assert "P1.a11 —✕— P2.a21" in text
+
+    def test_render_conflicts_empty(self):
+        from repro.core.schedule import ProcessSchedule
+
+        schedule = ProcessSchedule([process_p1()])
+        schedule.record("P1", "a11")
+        assert render_conflicts(schedule) == "(no conflicting pairs)"
+
+
+class TestReportTables:
+    def test_format_table_aligns_columns(self):
+        rows = [
+            {"name": "serial", "makespan": 10.5, "ok": True},
+            {"name": "pred", "makespan": 3.25, "ok": False},
+        ]
+        text = format_table(rows, title="X2")
+        lines = text.splitlines()
+        assert lines[0] == "X2"
+        # lines: title, header, separator, then one line per row
+        assert "serial" in lines[3]
+        assert "yes" in lines[3] and "no" in lines[4]
+
+    def test_format_table_missing_values(self):
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        text = format_table(rows, columns=["a", "b"])
+        assert "-" in text
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([], title="empty")
+
+    def test_float_formatting_trims_zeroes(self):
+        text = format_table([{"v": 1.5}])
+        assert "1.5" in text and "1.500" not in text
+
+
+class TestNestedRendering:
+    def test_nested_choices_render_recursively(self):
+        from repro.core.flex import build_process, choice, comp, pivot, retr, seq
+
+        process = build_process(
+            "N",
+            seq(
+                comp("a"),
+                pivot("b"),
+                choice(
+                    seq(
+                        comp("c"),
+                        pivot("d"),
+                        choice(seq(comp("e"), pivot("f")), seq(retr("g"))),
+                    ),
+                    seq(retr("h")),
+                ),
+            ),
+        )
+        text = render_process(process)
+        assert "c^c ≪ d^p" in text
+        assert "e^c ≪ f^p" in text
+        assert text.count("alternative 1") == 2
+        assert text.count("alternative 2") == 2

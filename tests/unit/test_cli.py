@@ -1,0 +1,132 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.serialize import process_to_json, schedule_to_dict
+from repro.scenarios.paper import (
+    process_p1,
+    schedule_fig4a,
+    schedule_fig7,
+)
+
+
+@pytest.fixture
+def fig7_file(tmp_path):
+    path = tmp_path / "fig7.json"
+    path.write_text(json.dumps(schedule_to_dict(schedule_fig7().schedule)))
+    return str(path)
+
+
+@pytest.fixture
+def fig4a_file(tmp_path):
+    path = tmp_path / "fig4a.json"
+    path.write_text(json.dumps(schedule_to_dict(schedule_fig4a().schedule)))
+    return str(path)
+
+
+@pytest.fixture
+def p1_file(tmp_path):
+    path = tmp_path / "p1.json"
+    path.write_text(process_to_json(process_p1()))
+    return str(path)
+
+
+class TestCheck:
+    def test_pred_schedule_exits_zero(self, fig7_file, capsys):
+        assert main(["check", fig7_file]) == 0
+        out = capsys.readouterr().out
+        assert "prefix-reducible (PRED)" in out
+        assert "Classification" in out
+
+    def test_non_pred_schedule_exits_one(self, fig4a_file, capsys):
+        assert main(["check", fig4a_file]) == 1
+        out = capsys.readouterr().out
+        assert "irreducible" in out
+
+    def test_missing_file_exits_two(self, capsys):
+        assert main(["check", "/nonexistent/schedule.json"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestRender:
+    def test_renders_structure(self, p1_file, capsys):
+        assert main(["render", p1_file]) == 0
+        out = capsys.readouterr().out
+        assert "Process P1" in out
+        assert "alternative 1" in out
+
+    def test_renders_executions(self, p1_file, capsys):
+        assert main(["render", p1_file, "--executions"]) == 0
+        out = capsys.readouterr().out
+        assert "valid executions:" in out
+        assert "[abort]" in out
+
+
+class TestWorkload:
+    def test_pred_workload_runs(self, capsys):
+        code = main(
+            [
+                "workload",
+                "--processes",
+                "3",
+                "--conflicts",
+                "0.1",
+                "--seed",
+                "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pred" in out and "makespan" in out
+
+    def test_serial_discipline_selectable(self, capsys):
+        code = main(
+            ["workload", "--processes", "2", "--scheduler", "serial"]
+        )
+        assert code == 0
+        assert "serial" in capsys.readouterr().out
+
+    def test_show_history_prints_swimlanes(self, capsys):
+        code = main(
+            ["workload", "--processes", "2", "--show-history", "--seed", "4"]
+        )
+        assert code == 0
+        assert "time →" in capsys.readouterr().out
+
+    def test_weak_order_flag(self, capsys):
+        code = main(
+            ["workload", "--processes", "2", "--order", "weak", "--seed", "2"]
+        )
+        assert code == 0
+
+
+class TestDemo:
+    def test_demo_success(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "parts produced: 1" in out
+
+    def test_demo_with_failing_test(self, capsys):
+        assert main(["demo", "--fail-test"]) == 0
+        out = capsys.readouterr().out
+        assert "parts produced: 0" in out
+
+
+class TestDot:
+    def test_process_dot(self, p1_file, capsys):
+        assert main(["dot", p1_file]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith('digraph "P1"')
+
+    def test_schedule_dot(self, fig7_file, capsys):
+        assert main(["dot", fig7_file]) == 0
+        out = capsys.readouterr().out
+        assert "subgraph cluster_0" in out
+
+    def test_unknown_format(self, tmp_path, capsys):
+        path = tmp_path / "junk.json"
+        path.write_text('{"format": "other"}')
+        assert main(["dot", str(path)]) == 2

@@ -1,0 +1,141 @@
+"""Unit tests for completed process schedules (Definition 8)."""
+
+import pytest
+
+from repro.core.completion import CompletedSchedule, complete_schedule
+from repro.core.schedule import (
+    AbortEvent,
+    ActivityEvent,
+    CommitEvent,
+    GroupAbortEvent,
+    ProcessSchedule,
+)
+from repro.scenarios.paper import paper_conflicts, process_p1, process_p2
+
+
+def event_strings(schedule):
+    return [str(event) for event in schedule.events]
+
+
+class TestGroupAbortCompletion:
+    def test_example5_completed_schedule(self, fig4a):
+        """Example 5: S̃_t2 adds a13^-1 ≪ a15 ≪ a16 and a25 plus commits."""
+        completed = complete_schedule(fig4a.schedule)
+        text = event_strings(completed)
+        assert text == [
+            "P1.a11",
+            "P2.a21",
+            "P2.a22",
+            "P2.a23",
+            "P1.a12",
+            "P1.a13",
+            "P2.a24",
+            "A(P1, P2)",
+            "P1.a13^-1",
+            "P1.a15",
+            "P1.a16",
+            "P2.a25",
+            "C(P1)",
+            "C(P2)",
+        ]
+
+    def test_every_process_commits_in_completion(self, fig4a):
+        completed = complete_schedule(fig4a.schedule)
+        assert completed.committed_processes() == frozenset({"P1", "P2"})
+
+    def test_aborted_in_original_records_group(self, fig4a):
+        completed = complete_schedule(fig4a.schedule)
+        assert completed.aborted_in_original == frozenset({"P1", "P2"})
+
+    def test_completion_positions_marked(self, fig4a):
+        completed = complete_schedule(fig4a.schedule)
+        added = [str(event) for _, event in completed.completion_events()]
+        assert added == ["P1.a13^-1", "P1.a15", "P1.a16", "P2.a25"]
+
+    def test_committed_processes_not_touched(self, fig7):
+        completed = complete_schedule(fig7.schedule)
+        # Everything committed in S'' — the completion adds nothing.
+        assert event_strings(completed) == event_strings(fig7.schedule)
+        assert completed.aborted_in_original == frozenset()
+
+    def test_compensations_in_reverse_global_order(self, p1, p2, conflicts):
+        """Lemma 2 via construction: compensations reverse the forward order."""
+        schedule = ProcessSchedule([p1, p2], conflicts)
+        schedule.record("P1", "a11")
+        schedule.record("P2", "a21")
+        completed = complete_schedule(schedule)
+        compensations = [
+            str(event)
+            for _, event in completed.completion_events()
+            if event.is_compensation
+        ]
+        assert compensations == ["P2.a21^-1", "P1.a11^-1"]
+
+    def test_forward_recovery_follows_serialization_order(self, fig4a):
+        completed = complete_schedule(fig4a.schedule)
+        added = [str(event) for _, event in completed.completion_events()]
+        # P1 serialises before P2, so P1's forward path precedes P2's.
+        assert added.index("P1.a15") < added.index("P2.a25")
+
+
+class TestIndividualAborts:
+    def test_abort_expanded_in_place(self, p1, p2, conflicts):
+        schedule = ProcessSchedule([p1, p2], conflicts)
+        schedule.record("P1", "a11")
+        schedule.record_abort("P1")
+        schedule.record("P2", "a21")
+        schedule.record_commit("P2")
+        completed = complete_schedule(schedule)
+        assert event_strings(completed) == [
+            "P1.a11",
+            "P1.a11^-1",
+            "C(P1)",
+            "P2.a21",
+            "C(P2)",
+        ]
+
+    def test_f_rec_abort_expands_to_forward_path(self, p1):
+        schedule = ProcessSchedule([p1])
+        for name in ("a11", "a12", "a13"):
+            schedule.record("P1", name)
+        schedule.record_abort("P1")
+        completed = complete_schedule(schedule)
+        assert event_strings(completed) == [
+            "P1.a11",
+            "P1.a12",
+            "P1.a13",
+            "P1.a13^-1",
+            "P1.a15",
+            "P1.a16",
+            "C(P1)",
+        ]
+
+    def test_abort_of_untouched_process(self, p1):
+        schedule = ProcessSchedule([p1])
+        schedule.record_abort("P1")
+        completed = complete_schedule(schedule)
+        assert event_strings(completed) == ["C(P1)"]
+
+
+class TestCompletedScheduleProperties:
+    def test_result_is_completed_schedule(self, fig4a):
+        completed = complete_schedule(fig4a.schedule)
+        assert isinstance(completed, CompletedSchedule)
+        assert completed.original is fig4a.schedule
+
+    def test_completed_schedule_is_legal(self, fig4a):
+        complete_schedule(fig4a.schedule).validate()
+
+    def test_empty_schedule_completes_to_empty(self, p1):
+        completed = complete_schedule(ProcessSchedule([p1]))
+        assert len(completed) == 0
+
+    def test_example5_serializability(self, fig4a):
+        """Example 5: S̃_t2 has no cyclic dependencies."""
+        completed = complete_schedule(fig4a.schedule)
+        assert completed.is_serializable()
+
+    def test_completing_twice_is_stable(self, fig4a):
+        completed = complete_schedule(fig4a.schedule)
+        again = complete_schedule(completed)
+        assert event_strings(again) == event_strings(completed)

@@ -1,0 +1,115 @@
+"""Unit tests for the completion constructor's internal ordering logic."""
+
+import pytest
+
+from repro.core.completion import (
+    _effective_events,
+    _forward_group_order,
+    complete_schedule,
+)
+from repro.core.conflict import ExplicitConflicts
+from repro.core.flex import build_process, comp, pivot, retr, seq
+from repro.core.schedule import ProcessSchedule
+
+
+def proc(pid, *steps):
+    """steps: (name, kind_char, service)"""
+    builders = {"c": comp, "p": pivot, "r": retr}
+    items = [builders[kind](name, service=service) for name, kind, service in steps]
+    return build_process(pid, seq(*items))
+
+
+class TestEffectiveEvents:
+    def test_cancelled_pair_excluded(self):
+        process = proc("P", ("a", "c", "sa"), ("b", "p", "sb"))
+        schedule = ProcessSchedule([process])
+        schedule.record("P", "a")
+        schedule.record_compensation("P", "a")
+        assert _effective_events(schedule) == []
+
+    def test_uncancelled_events_kept_in_order(self):
+        process = proc("P", ("a", "c", "sa"), ("b", "p", "sb"))
+        schedule = ProcessSchedule([process])
+        schedule.record("P", "a")
+        schedule.record("P", "b")
+        names = [str(event) for event in _effective_events(schedule)]
+        assert names == ["P.a", "P.b"]
+
+    def test_pairing_is_lifo_per_activity(self):
+        left = proc("L", ("a", "c", "sa"), ("b", "c", "sb"))
+        schedule = ProcessSchedule([left])
+        schedule.record("L", "a")
+        schedule.record("L", "b")
+        schedule.record_compensation("L", "b")
+        names = [str(event) for event in _effective_events(schedule)]
+        assert names == ["L.a"]
+
+    def test_interleaved_pairs_across_processes(self):
+        left = proc("L", ("a", "c", "sa"), ("x", "p", "sx"))
+        right = proc("R", ("b", "c", "sb"), ("y", "p", "sy"))
+        schedule = ProcessSchedule([left, right])
+        schedule.record("L", "a")
+        schedule.record("R", "b")
+        schedule.record_compensation("R", "b")
+        schedule.record_compensation("L", "a")
+        assert _effective_events(schedule) == []
+
+
+class TestForwardGroupOrder:
+    def test_forced_edge_orders_groups(self):
+        """An executed activity conflicting with another process's
+        forward path forces that process's group later."""
+        left = proc("L", ("a", "p", "sa"), ("f", "r", "sf"))
+        right = proc("R", ("b", "p", "sb"), ("g", "r", "sg"))
+        # R's executed pivot conflicts with L's forward service sf:
+        conflicts = ExplicitConflicts([("sb", "sf")])
+        schedule = ProcessSchedule([left, right], conflicts)
+        schedule.record("L", "a")
+        schedule.record("R", "b")
+        completions = {
+            pid: schedule.instance_state(pid).completion()
+            for pid in ("L", "R")
+        }
+        order = _forward_group_order(schedule, ["L", "R"], completions)
+        # forced: R's executed b must precede L's future f ⇒ R first
+        assert order == ["R", "L"]
+
+    def test_no_constraints_deterministic_order(self):
+        left = proc("L", ("a", "p", "sa"), ("f", "r", "sf"))
+        right = proc("R", ("b", "p", "sb"), ("g", "r", "sg"))
+        schedule = ProcessSchedule([left, right], ExplicitConflicts())
+        schedule.record("L", "a")
+        schedule.record("R", "b")
+        completions = {
+            pid: schedule.instance_state(pid).completion()
+            for pid in ("L", "R")
+        }
+        assert _forward_group_order(schedule, ["L", "R"], completions) == [
+            "L",
+            "R",
+        ]
+
+    def test_forced_cycle_falls_back_to_sorted(self):
+        left = proc("L", ("a", "p", "sa"), ("f", "r", "sf"))
+        right = proc("R", ("b", "p", "sb"), ("g", "r", "sg"))
+        conflicts = ExplicitConflicts([("sb", "sf"), ("sa", "sg")])
+        schedule = ProcessSchedule([left, right], conflicts)
+        schedule.record("L", "a")
+        schedule.record("R", "b")
+        completions = {
+            pid: schedule.instance_state(pid).completion()
+            for pid in ("L", "R")
+        }
+        order = _forward_group_order(schedule, ["L", "R"], completions)
+        assert order == ["L", "R"]  # deterministic fallback
+
+    def test_completed_schedule_respects_group_order(self):
+        left = proc("L", ("a", "p", "sa"), ("f", "r", "sf"))
+        right = proc("R", ("b", "p", "sb"), ("g", "r", "sg"))
+        conflicts = ExplicitConflicts([("sb", "sf")])
+        schedule = ProcessSchedule([left, right], conflicts)
+        schedule.record("L", "a")
+        schedule.record("R", "b")
+        completed = complete_schedule(schedule)
+        events = [str(event) for event in completed.events]
+        assert events.index("R.g") < events.index("L.f")

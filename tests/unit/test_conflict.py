@@ -1,0 +1,153 @@
+"""Unit tests for commutativity/conflict relations (Definition 6)."""
+
+import pytest
+
+from repro.core.activity import COMPENSATION_SUFFIX
+from repro.core.conflict import (
+    AllConflicts,
+    ExplicitConflicts,
+    NoConflicts,
+    ReadWriteConflicts,
+    UnionConflicts,
+    normalize_service,
+)
+
+
+class TestNormalize:
+    def test_forward_name_unchanged(self):
+        assert normalize_service("pdm_write") == "pdm_write"
+
+    def test_compensation_suffix_stripped(self):
+        assert normalize_service("pdm_write" + COMPENSATION_SUFFIX) == "pdm_write"
+
+
+class TestExplicitConflicts:
+    def test_declared_pair_conflicts_symmetrically(self):
+        relation = ExplicitConflicts([("a", "b")])
+        assert relation.conflicts("a", "b")
+        assert relation.conflicts("b", "a")
+
+    def test_undeclared_pair_commutes(self):
+        relation = ExplicitConflicts([("a", "b")])
+        assert relation.commute("a", "c")
+
+    def test_perfect_commutativity_closure(self):
+        """conflict(a,b) implies conflicts among all combinations with
+        the inverses — the paper's perfect commutativity assumption."""
+        relation = ExplicitConflicts([("a", "b")])
+        a_inv = "a" + COMPENSATION_SUFFIX
+        b_inv = "b" + COMPENSATION_SUFFIX
+        for left in ("a", a_inv):
+            for right in ("b", b_inv):
+                assert relation.conflicts(left, right)
+                assert relation.conflicts(right, left)
+
+    def test_perfect_commutativity_for_commuting_pairs(self):
+        relation = ExplicitConflicts([("a", "b")])
+        c_inv = "c" + COMPENSATION_SUFFIX
+        assert relation.commute("a", "c")
+        assert relation.commute("a" + COMPENSATION_SUFFIX, c_inv)
+
+    def test_self_conflict_declared(self):
+        relation = ExplicitConflicts([("a", "a")])
+        assert relation.conflicts("a", "a")
+
+    def test_retract(self):
+        relation = ExplicitConflicts([("a", "b")])
+        relation.retract("b", "a")
+        assert relation.commute("a", "b")
+
+    def test_declare_chains(self):
+        relation = ExplicitConflicts().declare("a", "b").declare("b", "c")
+        assert relation.conflicts("a", "b") and relation.conflicts("c", "b")
+        assert len(relation) == 2
+
+    def test_pairs_iteration_normalised(self):
+        relation = ExplicitConflicts([("x" + COMPENSATION_SUFFIX, "y")])
+        assert list(relation.pairs()) == [("x", "y")]
+
+
+class TestReadWriteConflicts:
+    def test_write_write_conflicts(self):
+        relation = ReadWriteConflicts()
+        relation.register("w1", writes=["stock"])
+        relation.register("w2", writes=["stock"])
+        assert relation.conflicts("w1", "w2")
+
+    def test_read_write_conflicts_both_directions(self):
+        relation = ReadWriteConflicts()
+        relation.register("reader", reads=["bom"])
+        relation.register("writer", writes=["bom"])
+        assert relation.conflicts("reader", "writer")
+        assert relation.conflicts("writer", "reader")
+
+    def test_read_read_commutes(self):
+        relation = ReadWriteConflicts()
+        relation.register("r1", reads=["bom"])
+        relation.register("r2", reads=["bom"])
+        assert relation.commute("r1", "r2")
+
+    def test_disjoint_resources_commute(self):
+        relation = ReadWriteConflicts()
+        relation.register("a", writes=["x"])
+        relation.register("b", writes=["y"])
+        assert relation.commute("a", "b")
+
+    def test_unknown_service_commutes_with_everything(self):
+        relation = ReadWriteConflicts()
+        relation.register("a", writes=["x"])
+        assert relation.commute("a", "ghost")
+
+    def test_incremental_registration_unions(self):
+        relation = ReadWriteConflicts()
+        relation.register("a", reads=["x"])
+        relation.register("a", writes=["y"])
+        reads, writes = relation.access_set("a")
+        assert reads == frozenset({"x"}) and writes == frozenset({"y"})
+
+    def test_compensation_uses_forward_access_set(self):
+        relation = ReadWriteConflicts()
+        relation.register("a", writes=["x"])
+        relation.register("b", reads=["x"])
+        assert relation.conflicts("a" + COMPENSATION_SUFFIX, "b")
+
+
+class TestTrivialRelations:
+    def test_no_conflicts(self):
+        assert NoConflicts().commute("a", "b")
+        assert NoConflicts().commute("a", "a")
+
+    def test_all_conflicts(self):
+        relation = AllConflicts()
+        assert relation.conflicts("a", "b")
+        assert relation.conflicts("a", "a")
+
+    def test_all_conflicts_without_self(self):
+        relation = AllConflicts(self_conflicts=False)
+        assert relation.conflicts("a", "b")
+        assert relation.commute("a", "a")
+
+
+class TestUnionConflicts:
+    def test_union_of_explicit_relations(self):
+        left = ExplicitConflicts([("a", "b")])
+        right = ExplicitConflicts([("c", "d")])
+        union = left | right
+        assert union.conflicts("a", "b")
+        assert union.conflicts("d", "c")
+        assert union.commute("a", "c")
+
+    def test_union_flattens_nested_unions(self):
+        u1 = ExplicitConflicts([("a", "b")]) | ExplicitConflicts([("c", "d")])
+        u2 = u1 | ExplicitConflicts([("e", "f")])
+        assert isinstance(u2, UnionConflicts)
+        assert len(u2._relations) == 3
+
+    def test_union_with_semantic_relation(self):
+        semantic = ReadWriteConflicts().register("r", reads=["k"]).register(
+            "w", writes=["k"]
+        )
+        union = UnionConflicts((ExplicitConflicts([("x", "y")]), semantic))
+        assert union.conflicts("r", "w")
+        assert union.conflicts("x", "y")
+        assert union.commute("r", "x")

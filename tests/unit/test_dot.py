@@ -1,0 +1,65 @@
+"""Unit tests for the DOT exporters."""
+
+import pytest
+
+from repro.analysis.dot import (
+    process_to_dot,
+    schedule_to_dot,
+    serialization_graph_to_dot,
+)
+from repro.scenarios.paper import process_p1, schedule_fig4a, schedule_fig4b
+
+
+class TestProcessToDot:
+    def test_nodes_with_kind_shapes(self):
+        dot = process_to_dot(process_p1())
+        assert dot.startswith('digraph "P1"')
+        assert '"a11" [label="a11^c" shape=ellipse];' in dot
+        assert '"a12" [label="a12^p" shape=box];' in dot
+        assert '"a15" [label="a15^r" shape=diamond];' in dot
+
+    def test_precedence_edges(self):
+        dot = process_to_dot(process_p1())
+        assert '"a11" -> "a12";' in dot
+        assert '"a12" -> "a13";' in dot
+        assert '"a12" -> "a15";' in dot
+
+    def test_preference_edges_dashed(self):
+        dot = process_to_dot(process_p1())
+        assert '"a13" -> "a15" [style=dashed' in dot
+
+    def test_balanced_braces(self):
+        dot = process_to_dot(process_p1())
+        assert dot.count("{") == dot.count("}")
+
+
+class TestScheduleToDot:
+    def test_lane_per_process(self):
+        dot = schedule_to_dot(schedule_fig4a().schedule)
+        assert "subgraph cluster_0" in dot
+        assert 'label="P1";' in dot and 'label="P2";' in dot
+
+    def test_conflict_arcs_dashed_red(self):
+        dot = schedule_to_dot(schedule_fig4a().schedule)
+        assert "style=dashed color=red" in dot
+
+    def test_intra_process_chains_present(self):
+        dot = schedule_to_dot(schedule_fig4a().schedule)
+        # P2's chain a21 -> a22 -> a23 -> a24 occupies positions 1..3, 6
+        assert "n1 -> n2;" in dot and "n2 -> n3;" in dot
+
+    def test_balanced_braces(self):
+        dot = schedule_to_dot(schedule_fig4b().schedule)
+        assert dot.count("{") == dot.count("}")
+
+
+class TestSerializationGraphToDot:
+    def test_acyclic_graph_edges(self):
+        dot = serialization_graph_to_dot(schedule_fig4a().schedule)
+        assert '"P1" -> "P2";' in dot
+        assert '"P2" -> "P1";' not in dot
+
+    def test_cyclic_graph_edges(self):
+        dot = serialization_graph_to_dot(schedule_fig4b().schedule)
+        assert '"P1" -> "P2";' in dot
+        assert '"P2" -> "P1";' in dot

@@ -1,0 +1,72 @@
+"""Unit tests for failure-injection policies (Definitions 3-4 support)."""
+
+import pytest
+
+from repro.subsystems.failures import (
+    FailurePlan,
+    NoFailures,
+    ProbabilisticFailures,
+)
+
+
+class TestNoFailures:
+    def test_never_fails(self):
+        policy = NoFailures()
+        assert not policy.should_fail("anything", 1)
+        assert not policy("anything", 99)
+
+
+class TestFailurePlan:
+    def test_fail_once(self):
+        policy = FailurePlan.fail_once(["svc"])
+        assert policy.should_fail("svc", 1)
+        assert not policy.should_fail("svc", 2)
+        assert not policy.should_fail("other", 1)
+
+    def test_fail_times(self):
+        policy = FailurePlan.fail_times("svc", 3)
+        assert all(policy.should_fail("svc", attempt) for attempt in (1, 2, 3))
+        assert not policy.should_fail("svc", 4)
+
+    def test_merge(self):
+        merged = FailurePlan.fail_once(["a"]).merge(FailurePlan.fail_times("b", 2))
+        assert merged.should_fail("a", 1)
+        assert merged.should_fail("b", 2)
+        assert not merged.should_fail("a", 2)
+
+    def test_merge_overrides(self):
+        merged = FailurePlan.fail_times("a", 5).merge(FailurePlan.fail_once(["a"]))
+        assert not merged.should_fail("a", 2)
+
+
+class TestProbabilisticFailures:
+    def test_zero_rate_never_fails(self):
+        policy = ProbabilisticFailures(rate=0.0, seed=1)
+        assert not any(policy.should_fail("svc", 1) for _ in range(50))
+
+    def test_high_rate_fails_often(self):
+        policy = ProbabilisticFailures(rate=0.9, seed=1)
+        failures = sum(policy.should_fail("svc", 1) for _ in range(100))
+        assert failures > 70
+
+    def test_deterministic_given_seed(self):
+        a = [ProbabilisticFailures(rate=0.5, seed=7).should_fail("s", 1) for _ in range(1)]
+        b = [ProbabilisticFailures(rate=0.5, seed=7).should_fail("s", 1) for _ in range(1)]
+        assert a == b
+
+    def test_per_service_rates(self):
+        policy = ProbabilisticFailures(rate=0.0, rates={"flaky": 1.0 - 1e-9}, seed=3)
+        assert policy.should_fail("flaky", 1)
+        assert not policy.should_fail("solid", 1)
+
+    def test_max_consecutive_guarantees_definition3(self):
+        """Some invocation m is guaranteed to commit (Definition 3)."""
+        policy = ProbabilisticFailures(rate=0.99, seed=5, max_consecutive=4)
+        assert not policy.should_fail("svc", 5)
+        assert not policy.should_fail("svc", 100)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            ProbabilisticFailures(rate=1.0)
+        with pytest.raises(ValueError):
+            ProbabilisticFailures(rate=-0.1)

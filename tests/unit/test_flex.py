@@ -1,0 +1,211 @@
+"""Unit tests for well-formed flex structures and execution enumeration."""
+
+import pytest
+
+from repro.core.flex import (
+    Outcome,
+    StepKind,
+    build_process,
+    choice,
+    comp,
+    count_valid_executions,
+    enumerate_executions,
+    is_well_formed,
+    parse_flex,
+    pivot,
+    retr,
+    seq,
+    simulate,
+    state_determining_activity,
+)
+from repro.core.process import ProcessBuilder
+from repro.errors import NotWellFormedError
+
+
+def paper_p1_tree():
+    return seq(
+        comp("a1"),
+        pivot("a2"),
+        choice(seq(comp("a3"), pivot("a4")), seq(retr("a5"), retr("a6"))),
+    )
+
+
+class TestWellFormedness:
+    def test_basic_structure_accepted(self):
+        process = build_process("P", seq(comp("a"), pivot("b"), retr("c")))
+        assert is_well_formed(process)
+
+    def test_all_compensatable_accepted(self):
+        assert is_well_formed(build_process("P", seq(comp("a"), comp("b"))))
+
+    def test_all_retriable_accepted(self):
+        assert is_well_formed(build_process("P", seq(retr("a"), retr("b"))))
+
+    def test_empty_process_accepted(self):
+        assert is_well_formed(build_process("P", seq()))
+
+    def test_pivot_only_accepted(self):
+        assert is_well_formed(build_process("P", seq(pivot("a"))))
+
+    def test_paper_p1_accepted(self):
+        assert is_well_formed(build_process("P1", paper_p1_tree()))
+
+    def test_pivot_after_retriable_rejected(self):
+        with pytest.raises(NotWellFormedError):
+            build_process("P", seq(retr("a"), pivot("b")))
+
+    def test_compensatable_after_pivot_without_alternative_rejected(self):
+        with pytest.raises(NotWellFormedError):
+            build_process("P", seq(pivot("a"), comp("b"), retr("c")))
+
+    def test_two_pivots_without_alternative_rejected(self):
+        with pytest.raises(NotWellFormedError):
+            build_process("P", seq(pivot("a"), pivot("b")))
+
+    def test_last_alternative_must_be_retriable(self):
+        with pytest.raises(NotWellFormedError):
+            build_process(
+                "P",
+                seq(
+                    pivot("a"),
+                    choice(seq(retr("b")), seq(comp("c"), pivot("d"))),
+                ),
+            )
+
+    def test_last_alternative_must_be_non_empty(self):
+        with pytest.raises(NotWellFormedError):
+            build_process("P", seq(pivot("a"), choice(seq(retr("b")), seq())))
+
+    def test_choice_needs_two_branches(self):
+        with pytest.raises(NotWellFormedError):
+            choice(seq(retr("a")))
+
+    def test_nested_alternatives_accepted(self):
+        tree = seq(
+            comp("a"),
+            pivot("b"),
+            choice(
+                seq(
+                    comp("c"),
+                    pivot("d"),
+                    choice(seq(comp("e"), pivot("f")), seq(retr("g"))),
+                ),
+                seq(retr("h")),
+            ),
+        )
+        assert is_well_formed(build_process("P", tree))
+
+    def test_choice_after_compensatable_rejected(self):
+        with pytest.raises(NotWellFormedError):
+            build_process(
+                "P",
+                seq(comp("a"), choice(seq(retr("b")), seq(retr("c")))),
+            )
+
+    def test_graph_with_parallel_successors_rejected(self):
+        process = (
+            ProcessBuilder("P")
+            .compensatable("a")
+            .retriable("b")
+            .retriable("c")
+            .precede("a", "b")
+            .precede("a", "c")
+            .build()
+        )
+        assert not is_well_formed(process)
+
+    def test_graph_with_two_roots_rejected(self):
+        process = (
+            ProcessBuilder("P")
+            .compensatable("a")
+            .compensatable("b")
+            .build()
+        )
+        assert not is_well_formed(process)
+
+
+class TestParseRoundTrip:
+    def test_parse_recovers_structure(self):
+        process = build_process("P1", paper_p1_tree())
+        tree = parse_flex(process)
+        names = [definition.name for definition in tree.activities()]
+        assert names == ["a1", "a2", "a3", "a4", "a5", "a6"]
+
+    def test_state_determining_activity(self):
+        process = build_process("P1", paper_p1_tree())
+        assert state_determining_activity(process) == "a2"
+
+    def test_state_determining_none_for_all_compensatable(self):
+        process = build_process("P", seq(comp("a"), comp("b")))
+        assert state_determining_activity(process) is None
+
+    def test_state_determining_first_retriable(self):
+        process = build_process("P", seq(comp("a"), retr("b")))
+        assert state_determining_activity(process) == "b"
+
+
+class TestSimulation:
+    def test_success_path(self):
+        path = simulate(build_process("P1", paper_p1_tree()))
+        assert path.outcome is Outcome.COMMIT
+        assert path.effects == ("a1", "a2", "a3", "a4")
+
+    def test_pivot_failure_takes_alternative_with_compensation(self):
+        path = simulate(build_process("P1", paper_p1_tree()), {"a4"})
+        assert path.outcome is Outcome.COMMIT
+        assert path.effects == ("a1", "a2", "a3", "a3^-1", "a5", "a6")
+
+    def test_branch_head_failure_takes_alternative_directly(self):
+        path = simulate(build_process("P1", paper_p1_tree()), {"a3"})
+        assert path.effects == ("a1", "a2", "a5", "a6")
+
+    def test_early_pivot_failure_aborts_backward(self):
+        path = simulate(build_process("P1", paper_p1_tree()), {"a2"})
+        assert path.outcome is Outcome.ABORT
+        assert path.effects == ("a1", "a1^-1")
+        assert path.is_effect_free()
+
+    def test_first_activity_failure_aborts_empty(self):
+        path = simulate(build_process("P1", paper_p1_tree()), {"a1"})
+        assert path.outcome is Outcome.ABORT
+        assert path.effects == ()
+
+    def test_retriable_failure_retries(self):
+        path = simulate(build_process("P1", paper_p1_tree()), {"a3", "a5"})
+        assert path.outcome is Outcome.COMMIT
+        kinds = [(step.activity, step.kind) for step in path.steps]
+        assert (("a5", StepKind.FAILED)) in kinds
+        assert path.effects == ("a1", "a2", "a5", "a6")
+
+    def test_effect_free_check_detects_leftover(self):
+        path = simulate(build_process("P1", paper_p1_tree()))
+        assert not path.is_effect_free()
+
+
+class TestEnumeration:
+    def test_paper_p1_has_four_valid_executions(self):
+        """Example 1: four possible valid executions of P1."""
+        process = build_process("P1", paper_p1_tree())
+        assert count_valid_executions(process) == 4
+
+    def test_enumeration_includes_single_abort_representative(self):
+        process = build_process("P1", paper_p1_tree())
+        paths = enumerate_executions(process)
+        aborts = [path for path in paths if path.outcome is Outcome.ABORT]
+        assert len(aborts) == 1
+        assert aborts[0].is_effect_free()
+
+    def test_linear_process_two_executions(self):
+        # success, or abort (single representative)
+        process = build_process("P", seq(comp("a"), pivot("b"), retr("c")))
+        assert count_valid_executions(process) == 2
+
+    def test_all_retriable_single_execution(self):
+        process = build_process("P", seq(retr("a"), retr("b")))
+        assert count_valid_executions(process) == 1
+
+    def test_max_failures_bounds_enumeration(self):
+        process = build_process("P1", paper_p1_tree())
+        bounded = enumerate_executions(process, max_failures=0)
+        assert len(bounded) == 1
+        assert bounded[0].outcome is Outcome.COMMIT

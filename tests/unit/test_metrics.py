@@ -1,0 +1,73 @@
+"""Unit tests for run metrics and statistics helpers."""
+
+import pytest
+
+from repro.sim.metrics import RunMetrics, percentile, summarize
+
+
+class TestPercentile:
+    def test_empty(self):
+        assert percentile([], 0.5) == 0.0
+
+    def test_single_value(self):
+        assert percentile([7.0], 0.95) == 7.0
+
+    def test_median_of_odd_sample(self):
+        assert percentile([3.0, 1.0, 2.0], 0.5) == 2.0
+
+    def test_interpolation(self):
+        assert percentile([0.0, 10.0], 0.25) == 2.5
+
+    def test_extremes(self):
+        values = [5.0, 1.0, 9.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 1.0) == 9.0
+
+
+class TestSummarize:
+    def test_empty_sample(self):
+        assert summarize([]) == {"mean": 0.0, "p50": 0.0, "p95": 0.0, "max": 0.0}
+
+    def test_summary_fields(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary["mean"] == 2.0
+        assert summary["p50"] == 2.0
+        assert summary["max"] == 3.0
+
+
+class TestRunMetrics:
+    def test_latencies_from_spans(self):
+        metrics = RunMetrics("pred")
+        metrics.process_spans = {"P1": (0.0, 4.0), "P2": (1.0, 3.0)}
+        assert sorted(metrics.latencies) == [2.0, 4.0]
+
+    def test_throughput(self):
+        metrics = RunMetrics("pred", makespan=10.0, processes_committed=5)
+        assert metrics.throughput == 0.5
+
+    def test_throughput_zero_makespan(self):
+        assert RunMetrics("pred").throughput == 0.0
+
+    def test_is_correct_requires_all_grades(self):
+        metrics = RunMetrics("pred")
+        assert metrics.is_correct  # nothing graded yet
+        metrics.serializable = True
+        metrics.process_recoverable = True
+        metrics.prefix_reducible = True
+        assert metrics.is_correct
+        metrics.prefix_reducible = False
+        assert not metrics.is_correct
+
+    def test_illegal_history_never_correct(self):
+        metrics = RunMetrics("flat")
+        metrics.illegal_history = True
+        assert not metrics.is_correct
+
+    def test_row_shape(self):
+        metrics = RunMetrics("serial", makespan=2.0, processes_committed=1)
+        metrics.process_spans = {"P1": (0.0, 2.0)}
+        row = metrics.row()
+        assert row["scheduler"] == "serial"
+        assert row["makespan"] == 2.0
+        assert row["latency_mean"] == 2.0
+        assert row["committed"] == 1

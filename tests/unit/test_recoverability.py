@@ -1,0 +1,105 @@
+"""Unit tests for process-recoverability (Definition 11)."""
+
+import pytest
+
+from repro.core.completion import complete_schedule
+from repro.core.recoverability import (
+    check_process_recoverability,
+    is_process_recoverable,
+)
+from repro.core.schedule import ProcessSchedule
+from repro.scenarios.paper import paper_conflicts, process_p1, process_p2
+
+
+def serial_schedule(p1, p2):
+    schedule = ProcessSchedule([p1, p2], paper_conflicts())
+    for name in ("a11", "a12", "a13", "a14"):
+        schedule.record("P1", name)
+    schedule.record_commit("P1")
+    for name in ("a21", "a22", "a23", "a24", "a25"):
+        schedule.record("P2", name)
+    schedule.record_commit("P2")
+    return schedule
+
+
+class TestRule1CommitOrder:
+    def test_serial_schedule_recoverable(self, p1, p2):
+        assert is_process_recoverable(serial_schedule(p1, p2))
+
+    def test_commit_against_conflict_order_violates(self, p1, p2):
+        schedule = ProcessSchedule([p1, p2], paper_conflicts())
+        schedule.record("P1", "a11")   # conflicts with a21
+        schedule.record("P2", "a21")
+        for name in ("a22", "a23", "a24", "a25"):
+            schedule.record("P2", name)
+        schedule.record_commit("P2")   # C2 before C1 — violation
+        for name in ("a12", "a13", "a14"):
+            schedule.record("P1", name)
+        schedule.record_commit("P1")
+        result = check_process_recoverability(schedule)
+        assert not result.is_process_recoverable
+        assert any(v.rule == 1 for v in result.violations)
+
+    def test_missing_commit_of_predecessor_violates(self, p1, p2):
+        schedule = ProcessSchedule([p1, p2], paper_conflicts())
+        schedule.record("P1", "a11")
+        schedule.record("P2", "a21")
+        schedule.record_commit("P2")  # P1 never commits
+        result = check_process_recoverability(schedule)
+        assert any(v.rule == 1 for v in result.violations)
+
+    def test_neither_commits_is_vacuous(self, p1, p2):
+        schedule = ProcessSchedule([p1, p2], paper_conflicts())
+        schedule.record("P1", "a11")
+        schedule.record("P2", "a21")
+        assert is_process_recoverable(schedule)
+
+
+class TestRule2StateDeterminingOrder:
+    def test_example8_prefix_violates_rule2(self, fig4a):
+        """At t1, P2's pivot a23 executed before P1's pivot a12."""
+        schedule = fig4a.schedule  # a11 < a21, a23 < a12
+        result = check_process_recoverability(schedule)
+        assert any(v.rule == 2 for v in result.violations)
+
+    def test_fig7_satisfies_rule2(self, fig7):
+        assert is_process_recoverable(fig7.schedule)
+
+    def test_rule2_vacuous_without_following_non_compensatables(self, p1, p2):
+        schedule = ProcessSchedule([p1, p2], paper_conflicts())
+        # conflict a15 (P1) before a25 (P2); no further non-compensatable
+        # activities follow on either side.
+        schedule.record("P1", "a11")
+        schedule.record("P1", "a12")
+        schedule.record("P1", "a15")
+        schedule.record("P2", "a21")
+        schedule.record("P2", "a22")
+        schedule.record("P2", "a23")
+        schedule.record("P2", "a24")
+        schedule.record("P2", "a25")
+        # a15 < a25, next non-comp of P1 after a15 is a16 — not executed;
+        # vacuous for 11.2.  Order commits correctly for 11.1.
+        schedule.record("P1", "a16")
+        schedule.record_commit("P1")
+        schedule.record_commit("P2")
+        result = check_process_recoverability(schedule)
+        assert result.is_process_recoverable
+
+
+class TestTheorem1Link:
+    def test_pred_schedule_is_serializable_and_proc_rec(self, fig7):
+        """Theorem 1 on the concrete Figure-7 schedule."""
+        from repro.core.pred import is_prefix_reducible
+
+        assert is_prefix_reducible(fig7.schedule)
+        assert fig7.schedule.is_serializable()
+        assert is_process_recoverable(fig7.schedule)
+
+    def test_completed_schedule_check_for_active_processes(self, fig9):
+        completed = complete_schedule(fig9.schedule)
+        assert is_process_recoverable(completed)
+
+    def test_violation_str_mentions_rule(self, fig4a):
+        result = check_process_recoverability(fig4a.schedule)
+        assert result.violations
+        assert "Proc-REC 11." in str(result.violations[0])

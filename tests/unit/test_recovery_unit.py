@@ -1,0 +1,107 @@
+"""Unit tests for WAL analysis and recovery internals."""
+
+import pytest
+
+from repro.core.scheduler import TransactionalProcessScheduler
+from repro.errors import UnknownProcessError
+from repro.scenarios.paper import paper_conflicts, process_p1, process_p2
+from repro.subsystems.recovery import analyze_wal, recover
+from repro.subsystems.wal import InMemoryWAL
+
+
+def logged_run(rounds=None):
+    wal = InMemoryWAL()
+    scheduler = TransactionalProcessScheduler(
+        conflicts=paper_conflicts(), wal=wal
+    )
+    scheduler.submit(process_p1())
+    scheduler.submit(process_p2())
+    if rounds is None:
+        scheduler.run()
+    else:
+        for _ in range(rounds):
+            scheduler.step_round()
+    return wal, scheduler
+
+
+class TestAnalyzeWal:
+    def test_started_processes_listed_in_order(self):
+        wal, _ = logged_run(rounds=1)
+        analysis = analyze_wal(wal)
+        assert analysis.started == ["P1", "P2"]
+
+    def test_committed_processes_not_active(self):
+        wal, _ = logged_run()
+        analysis = analyze_wal(wal)
+        assert set(analysis.committed) == {"P1", "P2"}
+        assert analysis.active == []
+
+    def test_events_exclude_rolled_back(self):
+        wal, scheduler = logged_run(rounds=2)
+        scheduler.abort("P1", "test")
+        scheduler.run()
+        analysis = analyze_wal(wal)
+        rolled_back = {
+            (record["process"], record["activity"])
+            for record in wal.records()
+            if record["type"] == "activity_rollback"
+        }
+        surviving = {(pid, name) for pid, name, _ in analysis.events}
+        assert not (rolled_back & surviving)
+
+    def test_prepared_without_decision_presumed_aborted(self):
+        wal, scheduler = logged_run(rounds=2)
+        scheduler.crash()
+        analysis = analyze_wal(wal)
+        # any prepared pivot whose harden group never logged a commit
+        # decision must be listed as presumed aborted OR covered by a
+        # decided group
+        for pid, name in analysis.presumed_aborted:
+            assert pid in analysis.started
+
+    def test_txn_group_mapping_populated(self):
+        wal, _ = logged_run()
+        analysis = analyze_wal(wal)
+        assert analysis.txn_groups  # at least the harden groups
+        assert all(
+            group.startswith("harden:")
+            for group in analysis.txn_groups.values()
+        )
+
+
+class TestRecoverValidation:
+    def test_unknown_process_in_wal_rejected(self):
+        wal, scheduler = logged_run(rounds=1)
+        scheduler.crash()
+        with pytest.raises(UnknownProcessError):
+            recover(
+                wal,
+                scheduler.registry,
+                {"P1": process_p1()},  # P2 missing from the repository
+                conflicts=paper_conflicts(),
+            )
+
+    def test_recovery_report_fields(self):
+        wal, scheduler = logged_run(rounds=2)
+        scheduler.crash()
+        report = recover(
+            wal,
+            scheduler.registry,
+            {"P1": process_p1(), "P2": process_p2()},
+            conflicts=paper_conflicts(),
+        )
+        assert set(report.group_aborted) <= {"P1", "P2"}
+        assert report.analysis.started == ["P1", "P2"]
+        assert report.history.is_legal()
+
+    def test_recovery_logs_group_abort_record(self):
+        wal, scheduler = logged_run(rounds=2)
+        scheduler.crash()
+        recover(
+            wal,
+            scheduler.registry,
+            {"P1": process_p1(), "P2": process_p2()},
+            conflicts=paper_conflicts(),
+        )
+        kinds = [record["type"] for record in wal.records()]
+        assert "recovery_group_abort" in kinds

@@ -1,0 +1,158 @@
+"""Unit tests for reducibility (Definition 9)."""
+
+import pytest
+
+from repro.core.activity import ActivityDef, ActivityKind
+from repro.core.conflict import ExplicitConflicts, NoConflicts
+from repro.core.process import ProcessBuilder
+from repro.core.reduction import is_reducible, reduce_schedule
+from repro.core.schedule import ProcessSchedule
+from repro.scenarios.paper import paper_conflicts, process_p1, process_p2
+
+
+class TestCompensationRule:
+    def test_adjacent_pair_cancelled(self, p1):
+        schedule = ProcessSchedule([p1], paper_conflicts())
+        schedule.record("P1", "a11")
+        schedule.record_compensation("P1", "a11")
+        result = reduce_schedule(schedule)
+        assert result.is_reducible
+        assert [str(a) for a in result.cancelled_pairs] == ["P1.a11"]
+        assert result.residual == ()
+
+    def test_pair_with_commuting_event_between_cancelled(self, p1, p2):
+        conflicts = ExplicitConflicts()  # nothing conflicts
+        schedule = ProcessSchedule([p1, p2], conflicts)
+        schedule.record("P1", "a11")
+        schedule.record("P2", "a21")
+        schedule.record_compensation("P1", "a11")
+        result = reduce_schedule(schedule)
+        # P2 is group-aborted by the completion, so its a21 pair cancels
+        # as well; the pair under test is P1.a11.
+        assert "P1.a11" in [str(a) for a in result.cancelled_pairs]
+        assert result.is_reducible
+
+    def test_pair_with_conflicting_event_between_blocked(self, p1, p2):
+        """Example 8's core: a11 ≪ a21 ≪ a11^-1 cannot be reduced."""
+        schedule = ProcessSchedule([p1, p2], paper_conflicts())
+        schedule.record("P1", "a11")
+        schedule.record("P2", "a21")
+        schedule.record_compensation("P1", "a11")
+        schedule.record_commit("P2")
+        schedule.record_abort("P1")
+        result = reduce_schedule(schedule)
+        assert not result.is_reducible
+        assert result.witness_cycle is not None
+
+    def test_nested_pairs_cancel_inside_out(self, p1, p2):
+        """a11 a21 a21^-1 a11^-1: the inner pair unblocks the outer."""
+        schedule = ProcessSchedule([p1, p2], paper_conflicts())
+        schedule.record("P1", "a11")
+        schedule.record("P2", "a21")
+        schedule.record_compensation("P2", "a21")
+        schedule.record_compensation("P1", "a11")
+        result = reduce_schedule(schedule)
+        assert result.is_reducible
+        assert len(result.cancelled_pairs) == 2
+        assert result.residual == ()
+
+    def test_wrong_order_compensations_not_reducible(self, p1, p2):
+        """Lemma 2: same-order compensations leave an unremovable cycle."""
+        schedule = ProcessSchedule([p1, p2], paper_conflicts())
+        schedule.record("P1", "a11")
+        schedule.record("P2", "a21")
+        schedule.record_compensation("P1", "a11")
+        schedule.record_compensation("P2", "a21")
+        schedule.record_abort("P1")
+        schedule.record_abort("P2")
+        result = reduce_schedule(schedule)
+        assert not result.is_reducible
+
+
+class TestCommutativityRule:
+    def test_example6_reduction(self, fig4a):
+        """Example 6: only (a13, a13^-1) cancels; the result is serial."""
+        result = reduce_schedule(fig4a.schedule)
+        assert result.is_reducible
+        assert [str(a) for a in result.cancelled_pairs] == ["P1.a13"]
+        assert result.serial_order == ("P1", "P2")
+
+    def test_non_serializable_residual_detected(self, fig4b):
+        result = reduce_schedule(fig4b.schedule)
+        assert not result.is_reducible
+        assert set(result.witness_cycle) == {"P1", "P2"}
+
+
+class TestEffectFreeRule:
+    def build_process_with_read(self):
+        return (
+            ProcessBuilder("R")
+            .add(
+                ActivityDef(
+                    "peek",
+                    ActivityKind.COMPENSATABLE,
+                    service="peek",
+                    effect_free=True,
+                )
+            )
+            .pivot("act", service="act")
+            .precede("peek", "act")
+            .build()
+        )
+
+    def test_effect_free_activity_of_aborted_process_removed(self, p1):
+        reader = self.build_process_with_read()
+        conflicts = ExplicitConflicts([("peek", "s11")])
+        schedule = ProcessSchedule([reader, p1], conflicts)
+        schedule.record("R", "peek")
+        schedule.record("P1", "a11")
+        schedule.record_abort("R")  # R aborts; peek is effect-free
+        result = reduce_schedule(schedule)
+        assert result.is_reducible
+        # Both the read and its (equally effect-free) compensation from
+        # the completion are removed by the effect-free rule.
+        assert "R.peek" in [str(a) for a in result.removed_effect_free]
+
+    def test_effect_free_activity_of_committed_process_kept(self, p1):
+        reader = self.build_process_with_read()
+        conflicts = ExplicitConflicts([("peek", "s11")])
+        schedule = ProcessSchedule([reader, p1], conflicts)
+        schedule.record("R", "peek")
+        schedule.record("R", "act")
+        schedule.record_commit("R")
+        schedule.record("P1", "a11")
+        result = reduce_schedule(schedule)
+        assert result.removed_effect_free == ()
+        residual = [str(event) for event in result.residual]
+        assert "R.peek" in residual
+
+
+class TestReducibilityOverall:
+    def test_empty_schedule_reducible(self, p1):
+        assert is_reducible(ProcessSchedule([p1]))
+
+    def test_serial_schedules_always_reducible(self, p1, p2):
+        schedule = ProcessSchedule([p1, p2], paper_conflicts())
+        for name in ("a11", "a12", "a13", "a14"):
+            schedule.record("P1", name)
+        schedule.record_commit("P1")
+        for name in ("a21", "a22", "a23", "a24", "a25"):
+            schedule.record("P2", name)
+        schedule.record_commit("P2")
+        assert is_reducible(schedule)
+
+    def test_example8_prefix_not_reducible(self, fig4a):
+        assert not is_reducible(fig4a.at_t1())
+
+    def test_fig4a_reducible_at_t2(self, fig4a):
+        assert is_reducible(fig4a.at_t2())
+
+    def test_result_reports_completed_schedule(self, fig4a):
+        result = reduce_schedule(fig4a.schedule)
+        assert result.completed.aborted_in_original == frozenset({"P1", "P2"})
+
+    def test_str_representation(self, fig4a):
+        text = str(reduce_schedule(fig4a.schedule))
+        assert text.startswith("[RED]")
+        text2 = str(reduce_schedule(fig4a.at_t1()))
+        assert text2.startswith("[not RED]")

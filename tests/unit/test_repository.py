@@ -1,0 +1,108 @@
+"""Unit tests for the durable process repository."""
+
+import os
+
+import pytest
+
+from repro.core.flex import is_well_formed
+from repro.errors import UnknownProcessError
+from repro.scenarios.paper import process_p1, process_p2
+from repro.subsystems.repository import ProcessRepository
+
+
+@pytest.fixture
+def repository(tmp_path):
+    return ProcessRepository(str(tmp_path / "processes"))
+
+
+class TestSaveAndLoad:
+    def test_round_trip(self, repository):
+        repository.save(process_p1())
+        restored = repository.load("P1")
+        assert restored.activity_names == process_p1().activity_names
+        assert is_well_formed(restored)
+
+    def test_save_is_atomic_replace(self, repository):
+        path = repository.save(process_p1())
+        again = repository.save(process_p1())
+        assert path == again
+        assert len(repository.process_ids()) == 1
+        leftovers = [
+            name
+            for name in os.listdir(repository.directory)
+            if name.endswith(".tmp")
+        ]
+        assert leftovers == []
+
+    def test_unknown_process_rejected(self, repository):
+        with pytest.raises(UnknownProcessError):
+            repository.load("ghost")
+
+    def test_instance_id_resolves_to_template(self, repository):
+        repository.save(process_p1())
+        instance = repository.load("P1#3")
+        assert instance.process_id == "P1#3"
+        assert instance.activity_names == process_p1().activity_names
+
+    def test_contains_handles_instance_ids(self, repository):
+        repository.save(process_p1())
+        assert "P1" in repository
+        assert "P1#7" in repository
+        assert "P2" not in repository
+
+    def test_delete(self, repository):
+        repository.save(process_p1())
+        assert repository.delete("P1")
+        assert not repository.delete("P1")
+        assert repository.process_ids() == []
+
+    def test_listing_sorted(self, repository):
+        repository.save(process_p2())
+        repository.save(process_p1())
+        assert repository.process_ids() == ["P1", "P2"]
+
+
+class TestRepositoryView:
+    def test_mapping_interface(self, repository):
+        repository.save(process_p1())
+        repository.save(process_p2())
+        view = repository.load_all()
+        assert len(view) == 2
+        assert set(view) == {"P1", "P2"}
+        assert view["P1"].process_id == "P1"
+        assert "P2" in view
+
+    def test_view_caches_loads(self, repository):
+        repository.save(process_p1())
+        view = repository.load_all()
+        assert view["P1"] is view["P1"]
+
+
+class TestRecoveryIntegration:
+    def test_recover_from_repository(self, repository, tmp_path):
+        from repro.core.scheduler import TransactionalProcessScheduler
+        from repro.scenarios.paper import paper_conflicts
+        from repro.subsystems.recovery import recover
+        from repro.subsystems.wal import FileWAL
+
+        repository.save(process_p1())
+        repository.save(process_p2())
+        wal = FileWAL(str(tmp_path / "wal.jsonl"))
+        scheduler = TransactionalProcessScheduler(
+            conflicts=paper_conflicts(), wal=wal
+        )
+        scheduler.submit(process_p1())
+        scheduler.submit(process_p2())
+        scheduler.step_round()
+        scheduler.step_round()
+        scheduler.crash()
+
+        # a "new process" restarts from the durable artifacts only
+        reopened = FileWAL(str(tmp_path / "wal.jsonl"))
+        report = recover(
+            reopened,
+            scheduler.registry,
+            repository.load_all(),
+            conflicts=paper_conflicts(),
+        )
+        assert report.scheduler.all_terminated()

@@ -1,0 +1,89 @@
+"""Unit tests for scheduler instrumentation listeners."""
+
+import pytest
+
+from repro.core.scheduler import TransactionalProcessScheduler
+from repro.scenarios.paper import paper_conflicts, process_p1, process_p2
+from repro.subsystems.failures import FailurePlan
+
+
+def run_with_listener(failures=None, abort_after=None):
+    events = []
+    scheduler = TransactionalProcessScheduler(conflicts=paper_conflicts())
+    scheduler.add_listener(lambda kind, payload: events.append((kind, payload)))
+    scheduler.submit(process_p1(), failures=failures)
+    scheduler.submit(process_p2())
+    if abort_after is not None:
+        for _ in range(abort_after):
+            scheduler.step_round()
+        scheduler.abort("P1", "listener test")
+    scheduler.run()
+    return scheduler, events
+
+
+class TestListenerStream:
+    def test_activity_events_reported_in_order(self):
+        _, events = run_with_listener()
+        activities = [
+            payload["activity"]
+            for kind, payload in events
+            if kind == "activity" and payload["process"] == "P1"
+        ]
+        assert activities == ["a11", "a12", "a13", "a14"]
+
+    def test_termination_events(self):
+        _, events = run_with_listener()
+        terminated = {
+            payload["process"]: payload["status"]
+            for kind, payload in events
+            if kind == "terminated"
+        }
+        assert terminated == {"P1": "committed", "P2": "committed"}
+
+    def test_deferral_events_carry_reason(self):
+        _, events = run_with_listener()
+        deferrals = [
+            payload for kind, payload in events if kind == "deferred"
+        ]
+        assert deferrals
+        assert all("reason" in payload for payload in deferrals)
+        assert any(payload["process"] == "P2" for payload in deferrals)
+
+    def test_failure_events(self):
+        _, events = run_with_listener(
+            failures=FailurePlan.fail_once(["s14"])
+        )
+        failed = [payload for kind, payload in events if kind == "failed"]
+        assert any(payload["activity"] == "a14" for payload in failed)
+
+    def test_hardening_events(self):
+        _, events = run_with_listener()
+        hardened = [
+            payload for kind, payload in events if kind == "hardened"
+        ]
+        assert hardened
+        assert all(payload["group"].startswith("harden:") for payload in hardened)
+
+    def test_abort_and_cascade_events(self):
+        _, events = run_with_listener(abort_after=1)
+        begun = [
+            payload for kind, payload in events if kind == "abort_begun"
+        ]
+        assert any(
+            payload["process"] == "P1" and not payload["cascade"]
+            for payload in begun
+        )
+        # the conflicting P2 was cascaded
+        assert any(
+            payload["process"] == "P2" and payload["cascade"]
+            for payload in begun
+        )
+
+    def test_multiple_listeners_all_called(self):
+        first, second = [], []
+        scheduler = TransactionalProcessScheduler(conflicts=paper_conflicts())
+        scheduler.add_listener(lambda kind, payload: first.append(kind))
+        scheduler.add_listener(lambda kind, payload: second.append(kind))
+        scheduler.submit(process_p1())
+        scheduler.run()
+        assert first == second and first

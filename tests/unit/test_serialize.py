@@ -1,0 +1,134 @@
+"""Unit tests for JSON (de)serialization of model objects."""
+
+import json
+
+import pytest
+
+from repro.core.flex import is_well_formed
+from repro.core.pred import check_pred
+from repro.core.serialize import (
+    SerializationError,
+    conflicts_from_dict,
+    conflicts_to_dict,
+    process_from_dict,
+    process_from_json,
+    process_to_dict,
+    process_to_json,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+from repro.scenarios.paper import paper_conflicts, process_p1, schedule_fig4a
+
+
+class TestProcessRoundTrip:
+    def test_structure_preserved(self, p1):
+        restored = process_from_dict(process_to_dict(p1))
+        assert restored.process_id == p1.process_id
+        assert restored.activity_names == p1.activity_names
+        assert list(restored.edges()) == list(p1.edges())
+        assert restored.alternatives("a12") == p1.alternatives("a12")
+
+    def test_activity_metadata_preserved(self, p1):
+        restored = process_from_dict(process_to_dict(p1))
+        for name in p1.activity_names:
+            original = p1.activity(name)
+            copy = restored.activity(name)
+            assert copy.kind is original.kind
+            assert copy.service == original.service
+            assert copy.compensation_service == original.compensation_service
+            assert copy.subsystem == original.subsystem
+
+    def test_well_formedness_survives(self, p1):
+        assert is_well_formed(process_from_dict(process_to_dict(p1)))
+
+    def test_json_round_trip(self, p1):
+        text = process_to_json(p1, indent=2)
+        assert json.loads(text)["process_id"] == "P1"
+        restored = process_from_json(text)
+        assert restored.activity_names == p1.activity_names
+
+    def test_params_round_trip(self):
+        from repro.core.flex import build_process, comp, pivot, seq
+
+        process = build_process(
+            "X",
+            seq(
+                comp("a", params={"item": "spec"}),
+                pivot("b"),
+            ),
+        )
+        restored = process_from_dict(process_to_dict(process))
+        assert restored.activity("a").params == {"item": "spec"}
+
+    def test_bad_format_rejected(self, p1):
+        payload = process_to_dict(p1)
+        payload["format"] = "something/else"
+        with pytest.raises(SerializationError):
+            process_from_dict(payload)
+
+    def test_bad_version_rejected(self, p1):
+        payload = process_to_dict(p1)
+        payload["version"] = 99
+        with pytest.raises(SerializationError):
+            process_from_dict(payload)
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(SerializationError):
+            process_from_json("{not json")
+
+
+class TestConflictsRoundTrip:
+    def test_pairs_preserved(self):
+        original = paper_conflicts()
+        restored = conflicts_from_dict(conflicts_to_dict(original))
+        assert restored.conflicts("s11", "s21")
+        assert restored.conflicts("s12", "s24")
+        assert restored.commute("s11", "s24")
+
+    def test_self_conflicts_preserved(self):
+        from repro.core.conflict import ExplicitConflicts
+
+        original = ExplicitConflicts([("a", "a")])
+        restored = conflicts_from_dict(conflicts_to_dict(original))
+        assert restored.conflicts("a", "a")
+
+
+class TestScheduleRoundTrip:
+    def test_events_preserved(self):
+        marked = schedule_fig4a()
+        marked.schedule.record_compensation("P1", "a13")
+        marked.schedule.record_commit("P1")
+        marked.schedule.record_abort("P2")
+        restored = schedule_from_dict(schedule_to_dict(marked.schedule))
+        assert [str(e) for e in restored.events] == [
+            str(e) for e in marked.schedule.events
+        ]
+
+    def test_conflicts_travel_with_schedule(self):
+        marked = schedule_fig4a()
+        restored = schedule_from_dict(schedule_to_dict(marked.schedule))
+        assert restored.is_serializable() == marked.schedule.is_serializable()
+        # the PRED verdict is a function of processes+conflicts+events,
+        # so it must survive the round trip
+        assert (
+            check_pred(restored).is_pred
+            == check_pred(marked.schedule).is_pred
+        )
+
+    def test_group_abort_round_trip(self, p1):
+        from repro.core.schedule import ProcessSchedule
+
+        schedule = ProcessSchedule([p1])
+        schedule.record("P1", "a11")
+        schedule.record_group_abort(["P1"])
+        restored = schedule_from_dict(schedule_to_dict(schedule))
+        assert "A(P1)" in str(restored)
+
+    def test_conflict_override(self):
+        from repro.core.conflict import NoConflicts
+
+        marked = schedule_fig4a()
+        restored = schedule_from_dict(
+            schedule_to_dict(marked.schedule), conflicts=NoConflicts()
+        )
+        assert restored.is_serializable()  # no conflicts, no cycles

@@ -1,0 +1,122 @@
+"""Unit tests for service factories and the service context."""
+
+import pytest
+
+from repro.core.conflict import ReadWriteConflicts
+from repro.subsystems.services import (
+    append_service,
+    conflicts_from_services,
+    counter_service,
+    flag_service,
+    noop_service,
+    read_service,
+    write_service,
+)
+from repro.subsystems.subsystem import Subsystem
+
+
+@pytest.fixture
+def subsystem():
+    return Subsystem(
+        "s",
+        initial_state={"k": "old", "count": 0, "items": [], "flag": False},
+    )
+
+
+class TestWriteAndRead:
+    def test_write_fixed_value(self, subsystem):
+        subsystem.register(write_service("set_k", "k", value="new"))
+        subsystem.invoke("set_k")
+        assert subsystem.store.get("k") == "new"
+
+    def test_write_from_param(self, subsystem):
+        subsystem.register(write_service("set_k", "k", value_param="payload"))
+        subsystem.invoke("set_k", params={"payload": 42})
+        assert subsystem.store.get("k") == 42
+
+    def test_read_service_is_effect_free(self, subsystem):
+        service = read_service("get_k", "k")
+        assert service.effect_free
+        subsystem.register(service)
+        assert subsystem.invoke("get_k").return_value == "old"
+
+    def test_noop_service(self, subsystem):
+        service = noop_service("nothing")
+        assert service.effect_free
+        subsystem.register(service)
+        assert subsystem.invoke("nothing").return_value is None
+
+
+class TestCounterService:
+    def test_increment_and_compensate(self, subsystem):
+        subsystem.register(counter_service("inc", "count", amount=5))
+        subsystem.invoke("inc")
+        subsystem.invoke("inc")
+        assert subsystem.store.get("count") == 10
+        subsystem.invoke("inc~inv")
+        assert subsystem.store.get("count") == 5
+
+    def test_custom_compensation_name(self, subsystem):
+        pair = counter_service("inc", "count", compensation_name="dec")
+        assert pair.compensation.name == "dec"
+
+
+class TestAppendService:
+    def test_append_and_remove(self, subsystem):
+        subsystem.register(append_service("add", "items"))
+        subsystem.invoke("add", params={"item": "x"})
+        subsystem.invoke("add", params={"item": "y"})
+        assert subsystem.store.get("items") == ["x", "y"]
+        subsystem.invoke("add~inv", params={"item": "x"})
+        assert subsystem.store.get("items") == ["y"]
+
+    def test_remove_drops_last_occurrence(self, subsystem):
+        subsystem.register(append_service("add", "items"))
+        for item in ("x", "y", "x"):
+            subsystem.invoke("add", params={"item": item})
+        subsystem.invoke("add~inv", params={"item": "x"})
+        assert subsystem.store.get("items") == ["x", "y"]
+
+    def test_remove_missing_is_noop(self, subsystem):
+        subsystem.register(append_service("add", "items"))
+        subsystem.invoke("add~inv", params={"item": "ghost"})
+        assert subsystem.store.get("items") == []
+
+
+class TestFlagService:
+    def test_set_and_reset(self, subsystem):
+        subsystem.register(flag_service("raise_flag", "flag"))
+        subsystem.invoke("raise_flag")
+        assert subsystem.store.get("flag") is True
+        subsystem.invoke("raise_flag~inv")
+        assert subsystem.store.get("flag") is False
+
+    def test_custom_values(self, subsystem):
+        subsystem.register(
+            flag_service("mark", "k", value="marked", reset="old")
+        )
+        subsystem.invoke("mark")
+        assert subsystem.store.get("k") == "marked"
+        subsystem.invoke("mark~inv")
+        assert subsystem.store.get("k") == "old"
+
+
+class TestConflictDerivation:
+    def test_conflicts_from_services(self):
+        services = [
+            write_service("w", "bom"),
+            read_service("r", "bom"),
+            noop_service("n"),
+        ]
+        relation = conflicts_from_services(services)
+        assert isinstance(relation, ReadWriteConflicts)
+        assert relation.conflicts("w", "r")
+        assert relation.commute("n", "w")
+
+    def test_compensation_pair_effect_freeness_on_store(self, subsystem):
+        """Definition 2 semantics: <a a^-1> leaves values unchanged."""
+        subsystem.register(counter_service("inc", "count"))
+        before = subsystem.store.snapshot()
+        subsystem.invoke("inc")
+        subsystem.invoke("inc~inv")
+        assert subsystem.store.snapshot() == before

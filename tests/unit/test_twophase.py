@@ -1,0 +1,93 @@
+"""Unit tests for the two-phase commit coordinator (Lemma 1)."""
+
+import pytest
+
+from repro.subsystems.services import counter_service
+from repro.subsystems.subsystem import Subsystem
+from repro.subsystems.twophase import CommitOutcome, Participant, TwoPhaseCoordinator
+from repro.subsystems.wal import InMemoryWAL
+
+
+@pytest.fixture
+def subsystems():
+    left = Subsystem("left", initial_state={"x": 0})
+    left.register(counter_service("inc_x", "x"))
+    right = Subsystem("right", initial_state={"y": 0})
+    right.register(counter_service("inc_y", "y"))
+    return left, right
+
+
+def prepare_group(left, right):
+    a = left.invoke("inc_x", hold=True)
+    b = right.invoke("inc_y", hold=True)
+    return [Participant(left, a.txn_id), Participant(right, b.txn_id)]
+
+
+class TestCommit:
+    def test_group_commits_atomically(self, subsystems):
+        left, right = subsystems
+        coordinator = TwoPhaseCoordinator()
+        outcome = coordinator.commit_group(prepare_group(left, right))
+        assert outcome.committed
+        assert left.store.get("x") == 1
+        assert right.store.get("y") == 1
+        assert left.prepared_transactions() == []
+
+    def test_empty_group_trivially_commits(self):
+        outcome = TwoPhaseCoordinator().commit_group([])
+        assert outcome.committed
+        assert outcome.participants == ()
+
+    def test_group_id_assigned_and_custom(self, subsystems):
+        left, right = subsystems
+        coordinator = TwoPhaseCoordinator()
+        outcome = coordinator.commit_group(
+            prepare_group(left, right), group_id="harden:P1"
+        )
+        assert outcome.group_id == "harden:P1"
+
+
+class TestVeto:
+    def test_veto_rolls_back_everyone(self, subsystems):
+        left, right = subsystems
+        coordinator = TwoPhaseCoordinator(
+            vote=lambda participant: participant.subsystem.name != "right"
+        )
+        outcome = coordinator.commit_group(prepare_group(left, right))
+        assert not outcome.committed
+        assert outcome.veto is not None and "right" in outcome.veto
+        assert left.store.get("x") == 0
+        assert right.store.get("y") == 0
+        assert left.prepared_transactions() == []
+        assert right.prepared_transactions() == []
+
+    def test_unprepared_participant_aborts_group(self, subsystems):
+        left, right = subsystems
+        participants = prepare_group(left, right)
+        # commit one participant out-of-band: it is no longer prepared
+        left.commit_prepared(participants[0].txn_id)
+        outcome = TwoPhaseCoordinator().commit_group(participants)
+        assert not outcome.committed
+        # the other participant must have been rolled back
+        assert right.store.get("y") == 0
+
+
+class TestLogging:
+    def test_decision_logged_before_phase_two(self, subsystems):
+        left, right = subsystems
+        wal = InMemoryWAL()
+        coordinator = TwoPhaseCoordinator(wal=wal)
+        coordinator.commit_group(prepare_group(left, right), group_id="g1")
+        kinds = [record["type"] for record in wal.records()]
+        assert kinds == ["2pc_begin", "2pc_commit", "2pc_end"]
+        begin = wal.records()[0]
+        assert begin["group"] == "g1"
+        assert len(begin["participants"]) == 2
+
+    def test_abort_logged(self, subsystems):
+        left, right = subsystems
+        wal = InMemoryWAL()
+        coordinator = TwoPhaseCoordinator(wal=wal, vote=lambda p: False)
+        coordinator.commit_group(prepare_group(left, right), group_id="g2")
+        kinds = [record["type"] for record in wal.records()]
+        assert kinds == ["2pc_begin", "2pc_abort"]

@@ -1,0 +1,78 @@
+"""Unit tests for write-ahead logs."""
+
+import pytest
+
+from repro.errors import LogCorruptionError
+from repro.subsystems.wal import FileWAL, InMemoryWAL
+
+
+class TestInMemoryWAL:
+    def test_append_assigns_lsns(self):
+        wal = InMemoryWAL()
+        assert wal.append({"type": "a"}) == 0
+        assert wal.append({"type": "b"}) == 1
+        assert [record["lsn"] for record in wal.records()] == [0, 1]
+
+    def test_records_are_copies(self):
+        wal = InMemoryWAL()
+        wal.append({"type": "a"})
+        wal.records().clear()
+        assert len(wal) == 1
+
+    def test_iteration_and_len(self):
+        wal = InMemoryWAL()
+        wal.append({"type": "a"})
+        wal.append({"type": "b"})
+        assert [record["type"] for record in wal] == ["a", "b"]
+        assert len(wal) == 2
+
+    def test_truncate(self):
+        wal = InMemoryWAL()
+        wal.append({"type": "a"})
+        wal.truncate()
+        assert len(wal) == 0
+
+    def test_append_does_not_mutate_input(self):
+        wal = InMemoryWAL()
+        record = {"type": "a"}
+        wal.append(record)
+        assert "lsn" not in record
+
+
+class TestFileWAL:
+    def test_append_and_reopen(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        wal = FileWAL(path)
+        wal.append({"type": "a", "value": 1})
+        wal.append({"type": "b"})
+        reopened = FileWAL(path)
+        assert [record["type"] for record in reopened.records()] == ["a", "b"]
+        assert reopened.records()[0]["value"] == 1
+
+    def test_append_after_reopen_continues_lsn(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        FileWAL(path).append({"type": "a"})
+        reopened = FileWAL(path)
+        assert reopened.append({"type": "b"}) == 1
+
+    def test_missing_file_starts_empty(self, tmp_path):
+        wal = FileWAL(str(tmp_path / "absent.jsonl"))
+        assert len(wal) == 0
+
+    def test_corrupt_json_detected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "ok"}\nnot-json\n')
+        with pytest.raises(LogCorruptionError):
+            FileWAL(str(path))
+
+    def test_record_without_type_detected(self, tmp_path):
+        path = tmp_path / "bad2.jsonl"
+        path.write_text('{"no_type": 1}\n')
+        with pytest.raises(LogCorruptionError):
+            FileWAL(str(path))
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "gaps.jsonl"
+        path.write_text('{"type": "a"}\n\n{"type": "b"}\n')
+        wal = FileWAL(str(path))
+        assert len(wal) == 2

@@ -1,0 +1,149 @@
+"""Unit tests for the weak-order session (§3.6)."""
+
+import pytest
+
+from repro.errors import SubsystemError, TransactionAborted
+from repro.subsystems.failures import FailurePlan
+from repro.subsystems.services import Service, counter_service
+from repro.subsystems.subsystem import Subsystem
+from repro.subsystems.weak_order import WeakOrderSession
+
+
+@pytest.fixture
+def subsystem():
+    sub = Subsystem("bank", initial_state={"balance": 100, "audit": 0})
+    sub.register(counter_service("deposit", "balance", amount=10))
+    sub.register(counter_service("withdraw", "balance", amount=-30))
+
+    def audit(context):
+        balance = context.read("balance", 0)
+        context.write("audit", balance)
+        return balance
+
+    sub.register(
+        Service(
+            "audit_balance",
+            audit,
+            reads=frozenset({"balance"}),
+            writes=frozenset({"audit"}),
+        )
+    )
+    return sub
+
+
+class TestCommitOrderSerializability:
+    def test_effects_equal_strong_order(self, subsystem):
+        session = WeakOrderSession(subsystem)
+        session.enlist("deposit", position=0)
+        session.enlist("audit_balance", position=1)
+        session.execute_all()
+        assert session.effects_match_strong_order()
+        session.commit()
+        assert subsystem.store.get("balance") == 110
+        assert subsystem.store.get("audit") == 110  # sees the deposit
+
+    def test_weak_order_decides_visibility(self, subsystem):
+        """Audit enlisted *before* the deposit must not see it."""
+        session = WeakOrderSession(subsystem)
+        session.enlist("audit_balance", position=0)
+        session.enlist("deposit", position=1)
+        session.execute_all()
+        session.commit()
+        assert subsystem.store.get("audit") == 100
+        assert subsystem.store.get("balance") == 110
+
+    def test_conflicting_enlistments_run_without_lock_blocking(self, subsystem):
+        """The whole point of the weak order: no strict-2PL blocking
+        between the conflicting local transactions."""
+        session = WeakOrderSession(subsystem)
+        session.enlist("deposit")
+        session.enlist("withdraw")
+        session.execute_all()  # both succeed, no WouldBlock
+        session.commit()
+        assert subsystem.store.get("balance") == 80
+
+    def test_store_untouched_until_commit(self, subsystem):
+        session = WeakOrderSession(subsystem)
+        session.enlist("deposit")
+        session.execute_all()
+        assert subsystem.store.get("balance") == 100
+        session.commit()
+        assert subsystem.store.get("balance") == 110
+
+    def test_abort_is_effect_free(self, subsystem):
+        session = WeakOrderSession(subsystem)
+        session.enlist("deposit")
+        session.execute_all()
+        session.abort()
+        assert subsystem.store.get("balance") == 100
+
+    def test_commit_requires_execution(self, subsystem):
+        session = WeakOrderSession(subsystem)
+        session.enlist("deposit")
+        with pytest.raises(SubsystemError):
+            session.commit()
+
+    def test_double_commit_rejected(self, subsystem):
+        session = WeakOrderSession(subsystem)
+        session.enlist("deposit")
+        session.execute_all()
+        session.commit()
+        with pytest.raises(SubsystemError):
+            session.commit()
+
+    def test_unknown_service_rejected_at_enlist(self, subsystem):
+        session = WeakOrderSession(subsystem)
+        from repro.errors import ServiceNotFoundError
+
+        with pytest.raises(ServiceNotFoundError):
+            session.enlist("ghost")
+
+
+class TestRetriableReinvocation:
+    def test_failed_enlistment_raises(self, subsystem):
+        session = WeakOrderSession(
+            subsystem, failures=FailurePlan.fail_once(["deposit"])
+        )
+        session.enlist("deposit", position=0)
+        session.enlist("audit_balance", position=1)
+        with pytest.raises(TransactionAborted):
+            session.execute_all()
+
+    def test_reinvocation_restarts_later_transactions(self, subsystem):
+        """§3.6: after T_ik restarts, the parallel T_jl restarts too —
+        without counting as a failure of T_jl."""
+        session = WeakOrderSession(subsystem)
+        deposit = session.enlist("deposit", position=0)
+        audit = session.enlist("audit_balance", position=1)
+        session.execute_all()
+        assert audit.return_value == 110
+
+        # the deposit "aborts after some operations" and is re-invoked
+        session.reinvoke(deposit)
+        assert audit.restarts == 1
+        assert audit.attempt == 1       # not a failure of the audit
+        assert deposit.attempt == 2
+        assert audit.return_value == 110  # consistent with the weak order
+        session.commit()
+        assert subsystem.store.get("audit") == 110
+
+    def test_reinvocation_does_not_restart_earlier_transactions(self, subsystem):
+        session = WeakOrderSession(subsystem)
+        audit = session.enlist("audit_balance", position=0)
+        deposit = session.enlist("deposit", position=1)
+        session.execute_all()
+        session.reinvoke(deposit)
+        assert audit.restarts == 0
+
+    def test_failure_then_reinvoke_completes_pending(self, subsystem):
+        plan = FailurePlan.fail_once(["deposit"])
+        session = WeakOrderSession(subsystem, failures=plan)
+        deposit = session.enlist("deposit", position=0)
+        audit = session.enlist("audit_balance", position=1)
+        with pytest.raises(TransactionAborted):
+            session.execute_all()
+        assert not audit.executed
+        session.reinvoke(deposit)       # attempt 2 succeeds, audit runs
+        assert deposit.executed and audit.executed
+        session.commit()
+        assert subsystem.store.get("audit") == 110

@@ -1,0 +1,102 @@
+"""Unit tests for random workload generation."""
+
+import random
+
+import pytest
+
+from repro.core.flex import is_well_formed, state_determining_activity
+from repro.sim.workload import WorkloadSpec, generate_process, generate_workload
+
+
+class TestWorkloadSpec:
+    def test_defaults_valid(self):
+        spec = WorkloadSpec()
+        assert spec.processes == 8
+
+    def test_invalid_process_count(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(processes=0)
+
+    def test_invalid_conflict_rate(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(conflict_rate=1.5)
+
+    def test_invalid_failure_rate(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(failure_rate=1.0)
+
+
+class TestGeneration:
+    def test_deterministic_given_seed(self):
+        a = generate_workload(WorkloadSpec(seed=3))
+        b = generate_workload(WorkloadSpec(seed=3))
+        assert [p.activity_names for p in a.processes] == [
+            p.activity_names for p in b.processes
+        ]
+        assert sorted(a.durations.items()) == sorted(b.durations.items())
+
+    def test_different_seeds_differ(self):
+        a = generate_workload(WorkloadSpec(seed=1, processes=4))
+        b = generate_workload(WorkloadSpec(seed=2, processes=4))
+        assert [p.activity_names for p in a.processes] != [
+            p.activity_names for p in b.processes
+        ] or [
+            p.activity("a1").service for p in a.processes
+        ] != [p.activity("a1").service for p in b.processes]
+
+    def test_every_generated_process_is_well_formed(self):
+        for seed in range(10):
+            workload = generate_workload(WorkloadSpec(seed=seed, processes=4))
+            for process in workload.processes:
+                assert is_well_formed(process)
+                assert state_determining_activity(process) is not None
+
+    def test_process_count_respected(self):
+        workload = generate_workload(WorkloadSpec(processes=5))
+        assert len(workload.processes) == 5
+        assert len({p.process_id for p in workload.processes}) == 5
+
+    def test_zero_conflict_rate_yields_no_conflicts(self):
+        workload = generate_workload(WorkloadSpec(conflict_rate=0.0, seed=1))
+        services = [f"svc{i}" for i in range(5)]
+        for left in services:
+            for right in services:
+                assert workload.conflicts.commute(left, right)
+
+    def test_full_conflict_rate_conflicts_everything(self):
+        workload = generate_workload(
+            WorkloadSpec(conflict_rate=1.0, seed=1, service_pool=5)
+        )
+        assert workload.conflicts.conflicts("svc0", "svc1")
+        assert workload.conflicts.conflicts("svc2", "svc2")
+
+    def test_durations_cover_pool(self):
+        workload = generate_workload(WorkloadSpec(service_pool=7, seed=1))
+        assert len(workload.durations) == 7
+        assert all(0.5 <= d <= 1.5 for d in workload.durations.values())
+
+    def test_duration_lookup_strips_compensation_suffix(self):
+        workload = generate_workload(WorkloadSpec(seed=1))
+        base = workload.duration("svc0")
+        assert workload.duration("svc0~inv") == base
+
+    def test_unknown_service_duration_defaults(self):
+        workload = generate_workload(WorkloadSpec(seed=1))
+        assert workload.duration("ghost") == 1.0
+
+    def test_generate_process_respects_ranges(self):
+        rng = random.Random(0)
+        spec = WorkloadSpec(
+            prefix_range=(2, 2),
+            suffix_range=(3, 3),
+            alternative_probability=0.0,
+        )
+        process = generate_process(rng, spec, "X", ["s1", "s2"])
+        kinds = [process.activity(n).kind.symbol for n in process.activity_names]
+        assert kinds == ["c", "c", "p", "r", "r", "r"]
+
+    def test_alternatives_generated_when_forced(self):
+        rng = random.Random(0)
+        spec = WorkloadSpec(alternative_probability=1.0, max_depth=1)
+        process = generate_process(rng, spec, "X", ["s1", "s2", "s3"])
+        assert any(process.alternatives(n) for n in process.activity_names)
