@@ -46,6 +46,10 @@ Sub-packages
 ``repro.baselines``
     Comparison schedulers: serial, conflict-locking (CC-only), flat-ACID
     with restarts, optimistic with commit-time validation.
+``repro.resilience``
+    Timeouts, bounded retries with deterministic backoff, per-service
+    circuit breakers, and the degradation hook that turns an open
+    breaker into a proactive switch to the next ◁-alternative.
 ``repro.sim``
     Discrete-event simulation: virtual time, random well-formed
     workloads, metrics, strong/weak temporal ordering (§3.6).
@@ -125,10 +129,20 @@ from repro.core.serialize import (
     schedule_from_dict,
     schedule_to_dict,
 )
+from repro.resilience import (
+    BreakerConfig,
+    BreakerState,
+    CircuitBreaker,
+    ResilienceManager,
+    RetryPolicy,
+)
 from repro.subsystems.failures import (
+    ChaosPolicy,
     CountedFailures,
     FailurePlan,
     FailurePolicy,
+    Fault,
+    FaultKind,
     NoFailures,
     ProbabilisticFailures,
 )

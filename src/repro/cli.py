@@ -26,6 +26,12 @@ Commands
 ``sweep``
     The X2 benchmark à la carte: run a conflict-rate sweep over all (or
     selected) scheduling disciplines and print the comparison table.
+
+``chaos``
+    Seeded chaos runs: inject aborts, latency spikes, hangs and
+    crash-stops while the resilience layer (timeouts, backoff, circuit
+    breakers, ◁-degradation) keeps the execution PRED-certifiable.
+    Prints the per-run fault/retry/breaker/degradation counters.
 """
 
 from __future__ import annotations
@@ -222,6 +228,61 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from repro.sim.chaos import ChaosSpec, chaos_sweep, default_mixes
+
+    if args.mix == "all":
+        mixes = default_mixes(processes=args.processes)
+    else:
+        base = default_mixes(processes=args.processes)
+        mixes = [spec for spec in base if spec.name == args.mix]
+    overrides = {}
+    if args.abort_rate is not None:
+        overrides["abort_rate"] = args.abort_rate
+    if args.latency_rate is not None:
+        overrides["latency_rate"] = args.latency_rate
+    if args.hang_rate is not None:
+        overrides["hang_rate"] = args.hang_rate
+    if args.crash_rate is not None:
+        overrides["crash_rate"] = args.crash_rate
+    mixes = [
+        replace(
+            spec,
+            timeout=args.timeout,
+            max_attempts=args.max_attempts,
+            breaker_threshold=args.breaker_threshold,
+            breaker_reset=args.breaker_reset,
+            **overrides,
+        )
+        for spec in mixes
+    ]
+    try:
+        results = chaos_sweep(
+            mixes=mixes, seeds=args.seeds, certify=not args.no_certify
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(
+        format_table(
+            [result.row() for result in results],
+            title=f"chaos sweep (seeds {args.seeds})",
+        )
+    )
+    certified = sum(1 for result in results if result.certified)
+    degradations = sum(
+        result.counters.get("degradations", 0) for result in results
+    )
+    print(
+        f"\n{certified}/{len(results)} runs certified "
+        f"(PRED + reducible + terminated); "
+        f"{degradations} ◁-degradations taken"
+    )
+    return 0 if certified == len(results) else 1
+
+
 def _cmd_dot(args: argparse.Namespace) -> int:
     with open(args.file, "r", encoding="utf-8") as handle:
         payload = json.load(handle)
@@ -302,6 +363,67 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--seed", type=int, default=7)
     sweep.add_argument("--order", choices=["strong", "weak"], default="strong")
     sweep.set_defaults(handler=_cmd_sweep)
+
+    chaos = commands.add_parser(
+        "chaos",
+        help="seeded chaos runs through the resilience layer",
+    )
+    chaos.add_argument(
+        "--mix",
+        choices=["all", "aborts", "latency", "hangs", "crashes", "mixed"],
+        default="all",
+        help="named fault mix (default: the full standard sweep)",
+    )
+    chaos.add_argument("--processes", type=int, default=8)
+    chaos.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2])
+    chaos.add_argument(
+        "--abort-rate", type=float, default=None, help="override abort rate"
+    )
+    chaos.add_argument(
+        "--latency-rate",
+        type=float,
+        default=None,
+        help="override latency-spike rate",
+    )
+    chaos.add_argument(
+        "--hang-rate", type=float, default=None, help="override hang rate"
+    )
+    chaos.add_argument(
+        "--crash-rate",
+        type=float,
+        default=None,
+        help="override crash-stop rate",
+    )
+    chaos.add_argument(
+        "--timeout",
+        type=float,
+        default=3.0,
+        help="per-invocation timeout (virtual time)",
+    )
+    chaos.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="retry budget per activity before ◁-degradation",
+    )
+    chaos.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=2,
+        help="consecutive failures before a breaker opens",
+    )
+    chaos.add_argument(
+        "--breaker-reset",
+        type=float,
+        default=8.0,
+        help="open-window length before the half-open probe",
+    )
+    chaos.add_argument(
+        "--no-certify",
+        action="store_true",
+        help="report instead of raising when a run fails certification",
+    )
+    chaos.set_defaults(handler=_cmd_chaos)
     return parser
 
 

@@ -489,6 +489,57 @@ class ProcessInstance:
 
     # -- failure handling and recovery --------------------------------------
 
+    def can_degrade(self) -> bool:
+        """Is a proactive switch to a lower ◁-alternative possible now?
+
+        ``True`` when the instance is running normally and unwinding to
+        the innermost choice point with a remaining alternative crosses
+        only compensatable committed activities — i.e. exactly when
+        :meth:`degrade` would cleanly enter the next branch under the
+        preference order rather than aborting the process.  Used by the
+        scheduler's circuit-breaker degradation hook.
+        """
+        if self._status is not InstanceStatus.RUNNING:
+            return False
+        if self._pending_compensations or self._pending_switch:
+            return False
+        for frame in reversed(self._frames):
+            mark = frame.choice_mark
+            if (
+                mark is not None
+                and mark.branch_index + 1 < len(mark.choice.branches)
+            ):
+                undo = self._committed[mark.committed_mark :]
+                return all(d.kind.is_compensatable for d in undo)
+        return False
+
+    def degrade(self, name: str) -> None:
+        """Switch to the next ◁-alternative without invoking ``name``.
+
+        The resilience layer's proactive counterpart of a failed
+        invocation: when the circuit breaker for the pending activity's
+        service is open, the scheduler refuses the doomed invocation
+        and backtracks to the innermost choice point with a remaining
+        alternative — the same path :meth:`on_failed` takes for a
+        non-retriable failure, but available for *any* pending forward
+        activity (including retriable ones whose retry budget ran dry).
+        The refusal is recorded as a failed step in the trace.
+        """
+        action = self._expect_pending(name)
+        if action.type is not ActionType.INVOKE:
+            raise InvalidProcessError(
+                f"cannot degrade {name!r}: only pending forward "
+                f"invocations may be degraded, not {action}"
+            )
+        if not self.can_degrade():
+            raise InvalidProcessError(
+                f"instance {self.instance_id!r} has no ◁-alternative to "
+                f"degrade to at {name!r}"
+            )
+        self._steps.append(Step(name, StepKind.FAILED, attempts=self._attempt))
+        self._attempt = 1
+        self._backtrack()
+
     def _backtrack(self) -> None:
         """Unwind to the innermost choice with a remaining alternative."""
         while self._frames:

@@ -13,6 +13,16 @@ activities ``a_{i_k} ≪_S a_{j_l}`` of different processes:
    conflict order, so a process never "out-runs" a conflicting
    predecessor into ``F-REC`` (the failure pattern of Example 8).
 
+Conflicting pairs that the reduction *cancels* impose no constraint:
+when an activity and its compensation annihilate under Definition 9's
+compensation rule, nothing durable was transferred between the
+processes, so neither clause applies to the pair.  Without this
+carve-out Definition 11 can be outright unsatisfiable — two processes
+that both execute, then both compensate, a conflicting activity (a
+branch switch on each side) create conflict edges in *both* directions
+among the cancelled events, so no commit order exists, yet the
+schedule is PRED and Theorem 1 demands it be Proc-REC.
+
 **Theorem 1**: PRED ⟹ serializable ∧ Proc-REC.  The checkers here are
 independent of the PRED machinery so the implication can be certified
 statistically over random schedules (benchmark T1 and the property
@@ -21,9 +31,11 @@ tests).
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import AbstractSet, Dict, List, Optional, Tuple
 
+from repro.core.activity import ActivityId
 from repro.core.schedule import (
     ActivityEvent,
     CommitEvent,
@@ -79,20 +91,57 @@ def check_process_recoverability(schedule: ProcessSchedule) -> ProcRecResult:
             commit_position.setdefault(event.process_id, index)
 
     activities = schedule.activity_events()
+    undone = _undone_forward_ids(schedule)
     violations: List[ProcRecViolation] = []
 
     for left_pos in range(len(activities)):
         i, left = activities[left_pos]
+        if left.activity.forward in undone:
+            continue
         for right_pos in range(left_pos + 1, len(activities)):
             j, right = activities[right_pos]
             if left.process_id == right.process_id:
                 continue
             if not schedule.events_conflict(left, right):
                 continue
+            if right.activity.forward in undone:
+                continue
             violation = _check_pair(schedule, commit_position, i, left, j, right)
             violations.extend(violation)
 
     return ProcRecResult(not violations, tuple(violations))
+
+
+def _undone_forward_ids(schedule: ProcessSchedule) -> AbstractSet[ActivityId]:
+    """Forward ids of activities the reduction undoes completely.
+
+    An id qualifies when *every* forward invocation of the activity is
+    cancelled against its compensation by Definition 9's compensation
+    rule (a re-invocation that survives keeps the id constrained), or
+    when the effect-free rule removes it.  Events of these ids transfer
+    no durable effects, so Definition 11 places no requirement on pairs
+    involving them.
+    """
+    from repro.core.reduction import reduce_schedule
+
+    reduction = reduce_schedule(schedule)
+    forward_counts = Counter(
+        event.activity.forward
+        for _, event in reduction.completed.activity_events()
+        if not event.is_compensation
+    )
+    cancelled_counts = Counter(
+        forward_id.forward for forward_id in reduction.cancelled_pairs
+    )
+    undone = {
+        forward_id
+        for forward_id, count in cancelled_counts.items()
+        if count == forward_counts[forward_id]
+    }
+    undone.update(
+        removed.forward for removed in reduction.removed_effect_free
+    )
+    return undone
 
 
 def _check_pair(

@@ -98,10 +98,12 @@ from repro.errors import (
     ProcessAbortedError,
     SchedulerClosedError,
     SchedulerError,
+    SubsystemUnavailable,
     TransactionAborted,
     UnknownProcessError,
     UnrecoverableStateError,
 )
+from repro.resilience.manager import ResilienceManager
 from repro.subsystems.failures import FailurePolicy, NoFailures
 from repro.subsystems.resource import WouldBlock
 from repro.subsystems.services import noop_service
@@ -265,10 +267,15 @@ class TransactionalProcessScheduler:
         use_semantic_conflicts: bool = True,
         auto_provision: bool = True,
         interleaving: Optional[Callable[[List[str]], List[str]]] = None,
+        resilience: Optional[ResilienceManager] = None,
     ) -> None:
         self.registry = registry if registry is not None else SubsystemRegistry()
         self.rules = rules if rules is not None else SchedulerRules()
         self.wal = wal
+        #: Optional resilience layer: timeouts, retry backoff, circuit
+        #: breakers and the ◁-degradation hook.  ``None`` preserves the
+        #: paper's bare protocol (immediate retries, no breakers).
+        self.resilience = resilience
         self._auto_provision = auto_provision
         explicit = conflicts if conflicts is not None else NoConflicts()
         if use_semantic_conflicts:
@@ -293,6 +300,9 @@ class TransactionalProcessScheduler:
         self._edges_cache: Optional[Dict[str, Set[str]]] = None
         #: Observers notified of scheduler events (see add_listener).
         self._listeners: List[Callable[[str, Dict[str, object]], None]] = []
+        #: Latency-spike overhead per log position (virtual time the
+        #: simulation runner adds on top of the service duration).
+        self._latencies: Dict[int, float] = {}
         #: Diagnostic counters surfaced by benchmarks.
         self.stats: Dict[str, int] = {
             "dispatched": 0,
@@ -301,6 +311,8 @@ class TransactionalProcessScheduler:
             "cascading_aborts": 0,
             "hardenings": 0,
             "2pc_groups": 0,
+            "degradations": 0,
+            "retries": 0,
         }
 
     # ------------------------------------------------------------------
@@ -370,6 +382,10 @@ class TransactionalProcessScheduler:
                 return subsystem
         if create:
             subsystem = Subsystem(name)
+            if self.resilience is not None:
+                # Crash-stopped subsystems recover by the clock; share
+                # the resilience layer's virtual clock so outages end.
+                subsystem.clock = self.resilience.clock
             self.registry.add(subsystem)
             return subsystem
         raise SchedulerError(
@@ -434,6 +450,13 @@ class TransactionalProcessScheduler:
             return self._log[payload].event  # type: ignore[index]
         return payload
 
+    def timeline_latency(self, index: int) -> float:
+        """Injected latency-spike overhead of a timeline event."""
+        kind, payload = self._timeline[index]
+        if kind == "activity":
+            return self._latencies.get(payload, 0.0)  # type: ignore[arg-type]
+        return 0.0
+
     def step_instance(self, instance_id: str) -> bool:
         """Alias of :meth:`step` (uniform driver interface)."""
         return self.step(instance_id)
@@ -491,6 +514,14 @@ class TransactionalProcessScheduler:
         action = managed.instance.next_action()
         if action.type is ActionType.FINISHED:
             return self._try_terminate(managed)
+        # Retry pacing: a failed invocation set a retry-not-before
+        # deadline (backoff); until the virtual clock reaches it the
+        # instance does not progress.  Stall resolution (or the DES
+        # runner's wake-up events) advances time across the wait.
+        if self.resilience is not None and not self.resilience.ready(
+            instance_id
+        ):
+            return False
         if action.type is ActionType.COMPENSATE:
             return self._try_compensate(managed, action)
         return self._try_invoke(managed, action)
@@ -585,10 +616,42 @@ class TransactionalProcessScheduler:
                 )
                 return False
 
+        # Degradation hook: an open circuit breaker on the preferred
+        # activity's service means the subsystem is known to be failing
+        # — switch to the next ◁-alternative proactively instead of
+        # burning the retry budget against it.  Where no alternative
+        # exists (or unwinding would cross a hardened pivot) the
+        # process waits out the breaker's open window instead;
+        # guaranteed termination is preserved either way.
+        manager = self.resilience
+        if manager is not None and not manager.breaker_allows(
+            definition.service  # type: ignore[arg-type]
+        ):
+            if managed.instance.can_degrade():
+                self._degrade(
+                    managed,
+                    action.activity,
+                    definition.service,  # type: ignore[arg-type]
+                    reason="circuit open",
+                )
+                return True
+            manager.note_fast_fail(pid, definition.service)  # type: ignore[arg-type]
+            self._defer(
+                managed,
+                set(),
+                f"circuit open for service {definition.service!r}",
+            )
+            return False
+
         # Execute at the subsystem; non-compensatable activities are
         # held prepared (R4, deferred commit).
         subsystem = self._subsystem_for(definition)
         hold = not definition.is_compensatable
+        timeout = (
+            manager.timeout_for(definition.service)  # type: ignore[arg-type]
+            if manager is not None
+            else None
+        )
         try:
             invocation = subsystem.invoke(
                 definition.service,  # type: ignore[arg-type]
@@ -596,6 +659,7 @@ class TransactionalProcessScheduler:
                 hold=hold,
                 attempt=action.attempt,
                 failures=managed.failures,
+                timeout=timeout,
             )
         except WouldBlock as block:
             holders = self._processes_holding(block.holders) - {pid}
@@ -605,7 +669,63 @@ class TransactionalProcessScheduler:
                 f"lock wait on {block.key!r} held by {sorted(holders)}",
             )
             return False
-        except TransactionAborted:
+        except TransactionAborted as failure:
+            # A crash-stopped subsystem is a *transient* condition, not
+            # a failed invocation: with the resilience layer active the
+            # process degrades to a ◁-alternative if one is reachable,
+            # or waits out the outage (the clock guarantees it ends).
+            if (
+                isinstance(failure, SubsystemUnavailable)
+                and manager is not None
+                and failure.retry_after != float("inf")
+            ):
+                manager.on_unavailable(
+                    pid,
+                    definition.service,  # type: ignore[arg-type]
+                    failure,
+                )
+                if managed.instance.can_degrade():
+                    self._degrade(
+                        managed,
+                        action.activity,
+                        definition.service,  # type: ignore[arg-type]
+                        reason="subsystem unavailable",
+                    )
+                    return True
+                self._defer(
+                    managed,
+                    set(),
+                    f"subsystem down for service {definition.service!r}",
+                )
+                return False
+            will_retry = definition.is_retriable
+            if manager is not None:
+                manager.on_failure(
+                    pid,
+                    definition.service,  # type: ignore[arg-type]
+                    action.attempt,
+                    failure,
+                    will_retry,
+                )
+                if will_retry:
+                    self.stats["retries"] += 1
+                # Retry budget exhausted on a retriable activity: take
+                # the ◁-alternative if one is reachable, rather than
+                # hammering a subsystem that keeps failing.
+                if (
+                    will_retry
+                    and manager.policy_for(
+                        definition.service  # type: ignore[arg-type]
+                    ).exhausted(action.attempt)
+                    and managed.instance.can_degrade()
+                ):
+                    self._degrade(
+                        managed,
+                        action.activity,
+                        definition.service,  # type: ignore[arg-type]
+                        reason="retry budget exhausted",
+                    )
+                    return True
             managed.instance.on_failed(action.activity)
             self._clear_wait(managed)
             self._notify(
@@ -623,8 +743,12 @@ class TransactionalProcessScheduler:
                 }
             )
             return True
+        if manager is not None:
+            manager.on_success(pid, definition.service)  # type: ignore[arg-type]
 
         position = self._record_event(managed, action.activity, Direction.FORWARD)
+        if invocation.latency:
+            self._latencies[position] = invocation.latency
         if hold:
             managed.prepared.append(
                 _PreparedActivity(
@@ -681,6 +805,10 @@ class TransactionalProcessScheduler:
         subsystem = self._subsystem_for(definition)
         inverse = definition.compensation_service
         assert inverse is not None
+        manager = self.resilience
+        timeout = (
+            manager.timeout_for(inverse) if manager is not None else None
+        )
         try:
             subsystem.invoke(
                 inverse,
@@ -688,6 +816,7 @@ class TransactionalProcessScheduler:
                 hold=False,
                 attempt=action.attempt,
                 failures=managed.failures,
+                timeout=timeout,
             )
         except WouldBlock as block:
             holders = self._processes_holding(block.holders) - {pid}
@@ -697,9 +826,30 @@ class TransactionalProcessScheduler:
                 f"compensation lock wait on {block.key!r}",
             )
             return False
-        except TransactionAborted:
+        except TransactionAborted as failure:
             # Compensations are retriable by definition: count the
-            # failure and try again next round.
+            # failure and try again next round (paced by backoff when
+            # the resilience layer is active — compensations must run,
+            # so breakers never refuse them, but retries still pace).
+            if (
+                isinstance(failure, SubsystemUnavailable)
+                and manager is not None
+                and failure.retry_after != float("inf")
+            ):
+                # Transient outage: the compensation is not failed, the
+                # process just waits for the subsystem to recover.
+                manager.on_unavailable(pid, inverse, failure)
+                self._defer(
+                    managed,
+                    set(),
+                    f"subsystem down for compensation {inverse!r}",
+                )
+                return False
+            if manager is not None:
+                manager.on_failure(
+                    pid, inverse, action.attempt, failure, will_retry=True
+                )
+                self.stats["retries"] += 1
             managed.instance.on_failed(action.activity)
             self._wal(
                 {
@@ -710,6 +860,8 @@ class TransactionalProcessScheduler:
                 }
             )
             return True
+        if manager is not None:
+            manager.on_success(pid, inverse)
 
         self._record_event(managed, action.activity, Direction.COMPENSATION)
         managed.instance.on_committed(action.activity)
@@ -820,6 +972,47 @@ class TransactionalProcessScheduler:
             )
         managed.prepared.clear()
 
+    # -- degradation (resilience hook) ---------------------------------------------
+
+    def _degrade(
+        self,
+        managed: ManagedProcess,
+        activity_name: Optional[str],
+        service: str,
+        reason: str,
+    ) -> None:
+        """Proactively switch the instance to its next ◁-alternative.
+
+        The flex structure's preference order becomes the degradation
+        policy: the preferred activity is refused (circuit open, or its
+        retry budget ran dry) and the instance backtracks to the
+        innermost choice point with a remaining alternative — the
+        compensations it queues flow through the normal scheduling
+        rules, so the produced history stays PRED.
+        """
+        assert activity_name is not None
+        managed.instance.degrade(activity_name)
+        self._clear_wait(managed)
+        self.stats["degradations"] += 1
+        if self.resilience is not None:
+            self.resilience.note_degradation(managed.process_id, service)
+        self._notify(
+            "degraded",
+            process=managed.process_id,
+            activity=activity_name,
+            service=service,
+            reason=reason,
+        )
+        self._wal(
+            {
+                "type": "degraded",
+                "process": managed.process_id,
+                "activity": activity_name,
+                "service": service,
+                "reason": reason,
+            }
+        )
+
     # -- hardening (R4) -----------------------------------------------------------
 
     def _maybe_harden_all(self) -> None:
@@ -887,11 +1080,23 @@ class TransactionalProcessScheduler:
     def _resolve_stall(self) -> None:
         """No instance progressed: break a deferral deadlock.
 
+        With an active resilience layer the stall may simply mean every
+        instance is waiting on the virtual clock (backoff windows, open
+        breakers); then time is advanced to the next deadline instead
+        of sacrificing a victim.  Under the discrete-event runner the
+        clock is externally driven and this advance is a no-op — the
+        runner schedules the wake-up events itself.
+
         Victim selection: a non-terminal, non-hardened process on a
         wait cycle (preferring fewest effective events); non-hardened
         processes are effectively in ``B-REC`` (their pivots are merely
         prepared) so their abort is pure backward recovery.
         """
+        if (
+            self.resilience is not None
+            and self.resilience.advance_to_next_deadline()
+        ):
+            return
         waiting = {
             pid: managed
             for pid, managed in self._managed.items()

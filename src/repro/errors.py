@@ -105,6 +105,35 @@ class LockTimeoutError(TransactionAborted):
     """
 
 
+class ServiceTimeout(TransactionAborted):
+    """An invocation exceeded its timeout budget and was abandoned.
+
+    Models a hanging or pathologically slow subsystem: the invoker gave
+    up waiting, the local transaction was rolled back, and — atomicity —
+    no effects remain.  ``elapsed`` is the virtual time the caller spent
+    blocked before abandoning the call; the resilience layer charges it
+    against the process before scheduling a retry.
+    """
+
+    def __init__(self, message: str, elapsed: float = 0.0) -> None:
+        super().__init__(message)
+        self.elapsed = elapsed
+
+
+class SubsystemUnavailable(TransactionAborted):
+    """The subsystem is crash-stopped and rejects all invocations.
+
+    Injected crash-stop faults take a subsystem down for a stretch of
+    virtual time; until it recovers, every invocation fails fast with
+    this error.  ``retry_after`` hints how long the outage lasts (the
+    circuit breaker makes the hint operational).
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
 # ---------------------------------------------------------------------------
 # Scheduler errors
 # ---------------------------------------------------------------------------
@@ -151,6 +180,24 @@ class DeadlockError(SchedulerError):
 
 class SchedulerClosedError(SchedulerError):
     """The scheduler has been shut down and accepts no new work."""
+
+
+# ---------------------------------------------------------------------------
+# Simulation errors
+# ---------------------------------------------------------------------------
+
+
+class SimulationError(ReproError):
+    """Base class for errors raised by the discrete-event simulation."""
+
+
+class InvalidDelayError(SimulationError, ValueError):
+    """An event was scheduled with a negative delay or in the past.
+
+    Virtual time only moves forward; the event queue rejects any
+    attempt to schedule behind the clock.  Subclasses ``ValueError``
+    for backward compatibility with callers that catch the old type.
+    """
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,87 @@
+"""Invocation policies: timeouts and bounded retries with backoff.
+
+A :class:`RetryPolicy` bounds how long one service invocation may take
+(``timeout``, in virtual time) and how retries are paced: exponential
+backoff with a cap plus *deterministic* seeded jitter.  Jitter is
+derived by hashing ``(seed, service, attempt)`` rather than drawn from
+a shared RNG, so a chaos run replayed with the same seed produces the
+same virtual-time trajectory regardless of scheduling order — the
+discrete-event simulation stays reproducible.
+
+``max_attempts`` is the escalation point, not a hard stop: the paper's
+guaranteed-termination property requires retriable activities to
+eventually commit, so when the budget is exhausted the resilience layer
+degrades to a ◁-alternative where one exists and otherwise keeps
+retrying at the capped delay (the injected-failure policies bound
+consecutive failures, so this always terminates).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy", "deterministic_jitter"]
+
+
+def deterministic_jitter(seed: int, service: str, attempt: int) -> float:
+    """A reproducible uniform draw in ``[0, 1)`` for one retry slot.
+
+    Stable across processes and Python versions (unlike ``hash``),
+    because it goes through SHA-256 of the identifying triple.
+    """
+    digest = hashlib.sha256(
+        f"{seed}:{service}:{attempt}".encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-service invocation budget: timeout plus paced retries."""
+
+    #: Virtual time the invoker waits before abandoning a call.
+    timeout: float = 8.0
+    #: Retry budget before escalating (degrade if a ◁-alternative
+    #: exists; otherwise keep retrying at the capped delay).
+    max_attempts: int = 4
+    #: Delay before the first retry.
+    base_delay: float = 0.5
+    #: Exponential growth factor per attempt.
+    multiplier: float = 2.0
+    #: Ceiling on the computed delay (before jitter).
+    max_delay: float = 16.0
+    #: Symmetric jitter as a fraction of the computed delay.
+    jitter: float = 0.2
+    #: Seed for the deterministic jitter.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {self.timeout}")
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be at least 1, got {self.max_attempts}"
+            )
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def backoff_delay(self, service: str, attempt: int) -> float:
+        """Virtual-time delay before retry number ``attempt``.
+
+        ``attempt`` is the 1-based attempt that just failed; the delay
+        paces the next one.  Deterministic given (seed, service,
+        attempt).
+        """
+        exponential = self.base_delay * self.multiplier ** max(0, attempt - 1)
+        delay = min(exponential, self.max_delay)
+        if self.jitter and delay > 0:
+            fraction = deterministic_jitter(self.seed, service, attempt)
+            delay += delay * self.jitter * (2.0 * fraction - 1.0)
+        return max(delay, 0.0)
+
+    def exhausted(self, attempt: int) -> bool:
+        """Whether ``attempt`` failures used up the retry budget."""
+        return attempt >= self.max_attempts

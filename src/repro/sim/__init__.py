@@ -15,3 +15,10 @@ from repro.sim.workload import (
     generate_workload,
 )
 from repro.sim.experiments import DISCIPLINES, grade_history, run_discipline, sweep
+from repro.sim.chaos import (
+    ChaosResult,
+    ChaosSpec,
+    chaos_sweep,
+    default_mixes,
+    run_chaos,
+)

@@ -12,6 +12,7 @@ import heapq
 import itertools
 from typing import Callable, List, Optional, Tuple
 
+from repro.errors import InvalidDelayError
 from repro.sim.clock import VirtualClock
 
 __all__ = ["EventQueue"]
@@ -26,15 +27,21 @@ class EventQueue:
         self._sequence = itertools.count()
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> None:
-        """Schedule ``callback`` to run ``delay`` time units from now."""
+        """Schedule ``callback`` to run ``delay`` time units from now.
+
+        Raises :class:`~repro.errors.InvalidDelayError` (a
+        :class:`ValueError` subclass) on a negative delay.
+        """
         if delay < 0:
-            raise ValueError(f"delay must be non-negative, got {delay}")
+            raise InvalidDelayError(
+                f"delay must be non-negative, got {delay}"
+            )
         self.schedule_at(self.clock.now + delay, callback)
 
     def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
         """Schedule ``callback`` at absolute virtual time ``time``."""
         if time < self.clock.now:
-            raise ValueError(
+            raise InvalidDelayError(
                 f"cannot schedule in the past: {time} < {self.clock.now}"
             )
         heapq.heappush(self._heap, (time, next(self._sequence), callback))

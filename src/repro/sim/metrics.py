@@ -58,6 +58,14 @@ class RunMetrics:
     deferrals: int = 0
     victim_aborts: int = 0
     restarts: int = 0
+    #: Resilience-layer counters (zero when the layer is off).
+    retries: int = 0
+    timeouts: int = 0
+    degradations: int = 0
+    breaker_trips: int = 0
+    breaker_recoveries: int = 0
+    #: Faults the chaos harness injected into the run.
+    faults_injected: int = 0
     #: Offline correctness grades (filled by the benchmark harness).
     serializable: Optional[bool] = None
     process_recoverable: Optional[bool] = None
@@ -109,5 +117,20 @@ class RunMetrics:
             "restarts": self.restarts,
             "serializable": self.serializable,
             "proc_rec": self.process_recoverable,
+            "pred": self.prefix_reducible,
+        }
+
+    def resilience_row(self) -> Dict[str, object]:
+        """Flat row of the resilience/chaos counters."""
+        return {
+            "scheduler": self.scheduler_name,
+            "faults": self.faults_injected,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "breaker_trips": self.breaker_trips,
+            "recoveries": self.breaker_recoveries,
+            "degradations": self.degradations,
+            "committed": self.processes_committed,
+            "aborted": self.processes_aborted,
             "pred": self.prefix_reducible,
         }

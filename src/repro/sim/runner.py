@@ -77,6 +77,18 @@ class SimulationRunner:
         #: is not dispatched (open-system workloads).  Unlisted
         #: instances arrive at time 0.
         self.arrivals: Dict[str, float] = dict(arrivals or {})
+        #: The scheduler's resilience layer, if any: its virtual clock
+        #: becomes the simulation clock so timeouts, backoff windows and
+        #: breaker reopen times live on the same timeline as the run.
+        self.resilience = getattr(scheduler, "resilience", None)
+        if self.resilience is not None:
+            previous = self.resilience.clock
+            self.resilience.attach_clock(self.queue.clock)
+            registry = getattr(scheduler, "registry", None)
+            if registry is not None:
+                for subsystem in registry.subsystems():
+                    if subsystem.clock is None or subsystem.clock is previous:
+                        subsystem.clock = self.queue.clock
 
     # -- gating ---------------------------------------------------------------
 
@@ -139,6 +151,15 @@ class SimulationRunner:
             if not self.queue.empty:
                 self.queue.run_next()
                 continue
+            # Nothing in flight: blocked work may just be waiting on
+            # the clock (retry backoff, open breakers) — turn the next
+            # resilience deadline into a wake-up event.
+            if self.resilience is not None:
+                deadline = self.resilience.next_deadline()
+                if deadline is not None and deadline > self.queue.clock.now:
+                    self.queue.schedule_at(deadline, lambda: None)
+                    self.queue.run_next()
+                    continue
             # No dispatch possible and nothing in flight: logical stall.
             scheduler.resolve_stall()
 
@@ -157,10 +178,13 @@ class SimulationRunner:
         spans_start: Dict[str, float],
     ) -> None:
         now = self.queue.clock.now
+        latency_of = getattr(self.scheduler, "timeline_latency", None)
         for index in range(before, self.scheduler.timeline_length()):
             event = self.scheduler.timeline_event(index)
             if isinstance(event, ActivityEvent):
                 duration = self.durations(event.conflict_service)
+                if latency_of is not None:
+                    duration += latency_of(index)
                 flight = _InFlight(
                     process_id=event.process_id,
                     conflict_service=event.conflict_service,
@@ -200,6 +224,18 @@ class SimulationRunner:
             values.get("victim_aborts", values.get("aborts", 0))
         )
         metrics.restarts = int(values.get("restarts", 0))
+        metrics.degradations = int(values.get("degradations", 0))
+        if self.resilience is not None:
+            snapshot = self.resilience.snapshot()
+            metrics.retries = int(snapshot.get("retries", 0))
+            metrics.timeouts = int(snapshot.get("timeouts", 0))
+            metrics.degradations = int(
+                snapshot.get("degradations", metrics.degradations)
+            )
+            metrics.breaker_trips = int(snapshot.get("breaker_trips", 0))
+            metrics.breaker_recoveries = int(
+                snapshot.get("breaker_recoveries", 0)
+            )
 
 
 def simulate_run(

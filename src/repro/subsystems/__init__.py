@@ -2,9 +2,12 @@
 
 from repro.subsystems.agent import ApplicationOperation, CoordinationAgent
 from repro.subsystems.failures import (
+    ChaosPolicy,
     CountedFailures,
     FailurePlan,
     FailurePolicy,
+    Fault,
+    FaultKind,
     NoFailures,
     ProbabilisticFailures,
 )

@@ -29,10 +29,12 @@ from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple, Uni
 from repro.core.conflict import ConflictRelation
 from repro.errors import (
     ServiceNotFoundError,
+    ServiceTimeout,
     SubsystemError,
+    SubsystemUnavailable,
     TransactionAborted,
 )
-from repro.subsystems.failures import FailurePolicy, NoFailures
+from repro.subsystems.failures import Fault, FaultKind, FailurePolicy, NoFailures
 from repro.subsystems.resource import LockManager, VersionedStore, WouldBlock
 from repro.subsystems.services import (
     Service,
@@ -53,6 +55,10 @@ class Invocation:
     service: str
     transaction: LocalTransaction
     return_value: object
+    #: Extra virtual time an injected latency spike added to the call
+    #: (below the invoker's timeout — otherwise the call would have
+    #: been abandoned instead of succeeding).
+    latency: float = 0.0
 
     @property
     def txn_id(self) -> str:
@@ -68,6 +74,10 @@ class Subsystem:
 
     _txn_ids = itertools.count(1)
 
+    #: Fallback virtual wait charged to a hang when the invoker set no
+    #: timeout (the hang must still release eventually).
+    DEFAULT_HANG_BUDGET = 10.0
+
     def __init__(
         self,
         name: str,
@@ -78,6 +88,11 @@ class Subsystem:
         self.locks = LockManager()
         self._services: Dict[str, Service] = {}
         self._transactions: Dict[str, LocalTransaction] = {}
+        #: Virtual clock consulted for crash-stop recovery; ``None``
+        #: means outages last until :meth:`restore` is called.
+        self.clock = None
+        #: Virtual time until which the subsystem is crash-stopped.
+        self._down_until: Optional[float] = None
 
     # -- registration ---------------------------------------------------------
 
@@ -122,6 +137,7 @@ class Subsystem:
         attempt: int = 1,
         failures: Optional[FailurePolicy] = None,
         txn_id: Optional[str] = None,
+        timeout: Optional[float] = None,
     ) -> Invocation:
         """Invoke a service as an atomic local transaction.
 
@@ -131,17 +147,25 @@ class Subsystem:
         invocation fails (injected or raised by the handler) and
         :class:`WouldBlock` when a lock conflict requires waiting; in
         both cases the transaction is rolled back and no effects remain.
+
+        ``timeout`` is the invoker's patience in virtual time: a hang
+        fault (or a latency spike at least that long) abandons the call
+        with :class:`~repro.errors.ServiceTimeout`.  While the subsystem
+        is crash-stopped, every invocation fails fast with
+        :class:`~repro.errors.SubsystemUnavailable`.
         """
         service = self.service(service_name)
         policy = failures or NoFailures()
+        self._check_available(service_name)
         identifier = txn_id or f"{self.name}/t{next(self._txn_ids)}"
         transaction = LocalTransaction(identifier, self.store, self.locks)
         self._transactions[identifier] = transaction
+        latency = 0.0
         try:
-            if policy.should_fail(service_name, attempt):
-                raise TransactionAborted(
-                    f"injected abort of {service_name!r} "
-                    f"(attempt {attempt}) on subsystem {self.name!r}"
+            fault = policy.fault_for(service_name, attempt)
+            if fault is not None:
+                latency = self._apply_fault(
+                    fault, service_name, attempt, timeout
                 )
             context = ServiceContext(transaction, params or {}, self.name)
             value = service.run(context)
@@ -165,7 +189,94 @@ class Subsystem:
             service=service_name,
             transaction=transaction,
             return_value=value,
+            latency=latency,
         )
+
+    # -- fault injection ------------------------------------------------------
+
+    def _apply_fault(
+        self,
+        fault: Fault,
+        service_name: str,
+        attempt: int,
+        timeout: Optional[float],
+    ) -> float:
+        """Realise an injected fault; returns survivable extra latency."""
+        where = (
+            f"{service_name!r} (attempt {attempt}) on subsystem {self.name!r}"
+        )
+        if fault.kind is FaultKind.ABORT:
+            raise TransactionAborted(f"injected abort of {where}")
+        if fault.kind is FaultKind.HANG:
+            budget = timeout if timeout is not None else (
+                fault.duration or self.DEFAULT_HANG_BUDGET
+            )
+            raise ServiceTimeout(
+                f"injected hang of {where}: abandoned after {budget} "
+                f"virtual time units",
+                elapsed=budget,
+            )
+        if fault.kind is FaultKind.LATENCY:
+            if timeout is not None and fault.duration >= timeout:
+                raise ServiceTimeout(
+                    f"injected latency spike of {fault.duration:.3f} on "
+                    f"{where} exceeded the timeout of {timeout}",
+                    elapsed=timeout,
+                )
+            return fault.duration
+        if fault.kind is FaultKind.CRASH:
+            # The crash-stop *kills* the in-flight transaction — a real
+            # failed attempt, so retry counters advance — and downs the
+            # subsystem.  Invocations arriving during the outage get the
+            # transient :class:`SubsystemUnavailable` refusal instead
+            # (see :meth:`_check_available`).
+            self.crash_for(fault.duration)
+            raise TransactionAborted(
+                f"injected crash-stop of subsystem {self.name!r} killed "
+                f"{where}; down for {fault.duration:.3f} virtual time units"
+            )
+        raise SubsystemError(  # pragma: no cover - exhaustive enum
+            f"unknown fault kind {fault.kind!r}"
+        )
+
+    def _check_available(self, service_name: str) -> None:
+        if self._down_until is None:
+            return
+        now = self.clock.now if self.clock is not None else None
+        if now is not None and now >= self._down_until:
+            self._down_until = None  # outage over: crash-recover
+            return
+        remaining = (
+            self._down_until - now if now is not None else float("inf")
+        )
+        raise SubsystemUnavailable(
+            f"subsystem {self.name!r} is crash-stopped; {service_name!r} "
+            f"rejected",
+            retry_after=remaining,
+        )
+
+    def crash_for(self, duration: float) -> None:
+        """Crash-stop the subsystem for ``duration`` virtual time.
+
+        Without a :attr:`clock`, the outage lasts until
+        :meth:`restore` — the crash-stop-without-recovery model.
+        """
+        if self.clock is not None:
+            until = self.clock.now + duration
+            self._down_until = max(self._down_until or 0.0, until)
+        else:
+            self._down_until = float("inf")
+
+    def restore(self) -> None:
+        """Bring a crash-stopped subsystem back (manual recovery)."""
+        self._down_until = None
+
+    @property
+    def is_down(self) -> bool:
+        if self._down_until is None:
+            return False
+        now = self.clock.now if self.clock is not None else None
+        return now is None or now < self._down_until
 
     # -- prepared transaction management -------------------------------------------
 

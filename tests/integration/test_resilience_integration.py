@@ -1,0 +1,251 @@
+"""End-to-end resilience: faults at the subsystem, degradation at the
+scheduler, certification of the resulting histories.
+
+The deterministic scenarios here pin down the degradation hook's
+semantics — an open breaker (or a crash-stopped subsystem) on a
+preferred activity's service makes the PRED scheduler switch to the
+next ◁-alternative *without* exhausting the retry budget, and the
+histories it produces stay PRED throughout.
+"""
+
+import pytest
+
+from repro.core.flex import build_process, choice, comp, pivot, retr, seq
+from repro.core.pred import check_pred
+from repro.core.reduction import reduce_schedule
+from repro.core.scheduler import TransactionalProcessScheduler
+from repro.errors import ServiceTimeout, SubsystemUnavailable
+from repro.resilience import BreakerConfig, ResilienceManager, RetryPolicy
+from repro.sim.clock import VirtualClock
+from repro.subsystems.failures import (
+    FailurePlan,
+    FailurePolicy,
+    Fault,
+    FaultKind,
+)
+from repro.subsystems.services import noop_service
+from repro.subsystems.subsystem import Subsystem
+
+
+class FaultScript(FailurePolicy):
+    """Inject an explicit fault per (service, attempt) pair."""
+
+    def __init__(self, faults):
+        self._faults = dict(faults)
+
+    def should_fail(self, service, attempt):
+        fault = self._faults.get((service, attempt))
+        return fault is not None and fault.kind is FaultKind.ABORT
+
+    def fault_for(self, service, attempt):
+        return self._faults.get((service, attempt))
+
+
+class TestSubsystemFaults:
+    """Fault kinds at the Subsystem.invoke level."""
+
+    def make(self, with_clock=True):
+        subsystem = Subsystem("sub")
+        subsystem.register(noop_service("svc"))
+        if with_clock:
+            subsystem.clock = VirtualClock()
+        return subsystem
+
+    def test_latency_below_timeout_succeeds_with_latency(self):
+        subsystem = self.make()
+        policy = FaultScript({("svc", 1): Fault(FaultKind.LATENCY, 2.0)})
+        invocation = subsystem.invoke(
+            "svc", attempt=1, failures=policy, timeout=5.0
+        )
+        assert invocation.latency == 2.0
+
+    def test_latency_at_timeout_raises_service_timeout(self):
+        subsystem = self.make()
+        policy = FaultScript({("svc", 1): Fault(FaultKind.LATENCY, 6.0)})
+        with pytest.raises(ServiceTimeout) as excinfo:
+            subsystem.invoke("svc", attempt=1, failures=policy, timeout=5.0)
+        assert excinfo.value.elapsed == 5.0
+
+    def test_hang_raises_service_timeout(self):
+        subsystem = self.make()
+        policy = FaultScript({("svc", 1): Fault(FaultKind.HANG)})
+        with pytest.raises(ServiceTimeout) as excinfo:
+            subsystem.invoke("svc", attempt=1, failures=policy, timeout=3.0)
+        assert excinfo.value.elapsed == 3.0
+
+    def test_crash_stops_subsystem_until_clock_recovery(self):
+        subsystem = self.make()
+        policy = FaultScript({("svc", 1): Fault(FaultKind.CRASH, 4.0)})
+        # The in-flight invocation is killed as a plain failed attempt.
+        from repro.errors import TransactionAborted
+
+        with pytest.raises(TransactionAborted) as killed:
+            subsystem.invoke("svc", attempt=1, failures=policy, timeout=3.0)
+        assert not isinstance(killed.value, SubsystemUnavailable)
+        assert subsystem.is_down
+        # During the outage every invocation fails fast.
+        with pytest.raises(SubsystemUnavailable) as excinfo:
+            subsystem.invoke("svc", attempt=2)
+        assert excinfo.value.retry_after == pytest.approx(4.0)
+        # The outage ends when virtual time passes the recovery point.
+        subsystem.clock.advance_to(4.0)
+        subsystem.invoke("svc", attempt=3)
+        assert not subsystem.is_down
+
+    def test_crash_without_clock_lasts_until_restore(self):
+        subsystem = self.make(with_clock=False)
+        subsystem.crash_for(4.0)
+        with pytest.raises(SubsystemUnavailable) as excinfo:
+            subsystem.invoke("svc", attempt=1)
+        assert excinfo.value.retry_after == float("inf")
+        subsystem.restore()
+        subsystem.invoke("svc", attempt=1)
+
+
+def degradable_process(pid: str) -> "Process":  # noqa: F821
+    """pivot, then choice(primary via 'flaky', fallback via 'backup')."""
+    return build_process(
+        pid,
+        seq(
+            pivot(f"{pid}_p", service=f"ok_{pid}"),
+            choice(
+                seq(
+                    comp(f"{pid}_pref", service="flaky"),
+                    pivot(f"{pid}_p2", service=f"ok2_{pid}"),
+                    retr(f"{pid}_r", service=f"ok3_{pid}"),
+                ),
+                seq(retr(f"{pid}_alt", service="backup")),
+            ),
+        ),
+    )
+
+
+class TestBreakerDrivenDegradation:
+    def test_open_breaker_switches_to_alternative(self):
+        """The tentpole scenario: A's failures trip the breaker for
+        'flaky'; B, whose *preferred* branch starts with 'flaky',
+        proactively degrades to its ◁-alternative without a single
+        retry of its own, and every history stays PRED."""
+        manager = ResilienceManager(
+            policy=RetryPolicy(
+                timeout=4.0, max_attempts=5, base_delay=0.5, jitter=0.0
+            ),
+            breaker=BreakerConfig(failure_threshold=1, reset_timeout=50.0),
+        )
+        scheduler = TransactionalProcessScheduler(resilience=manager)
+        # A: a retriable activity on 'flaky' that fails its first two
+        # attempts — enough to trip the threshold-1 breaker.
+        flaky_user = build_process(
+            "A",
+            seq(pivot("A_p", service="ok_A"), retr("A_r", service="flaky")),
+        )
+        scheduler.submit(
+            flaky_user, failures=FailurePlan.fail_times("flaky", 2)
+        )
+        scheduler.submit(degradable_process("B"))
+        scheduler.run()
+
+        assert scheduler.all_terminated()
+        statuses = {pid: s.value for pid, s in scheduler.statuses().items()}
+        assert statuses == {"A": "committed", "B": "committed"}
+        # B took the fallback branch: its preferred activity never ran.
+        activities = [
+            event.activity.activity_name
+            for event in scheduler.history().events_of("B")
+        ]
+        assert "B_alt" in activities
+        assert "B_pref" not in activities
+        # Degradation, not retry exhaustion.
+        snapshot = manager.snapshot()
+        assert snapshot["degradations"] == 1
+        assert snapshot["retry_budget_exhausted"] == 0
+        assert snapshot["breaker_trips"] >= 1
+        assert scheduler.stats["degradations"] == 1
+        history = scheduler.history()
+        assert check_pred(history).is_pred
+        assert reduce_schedule(history).is_reducible
+
+    def test_no_alternative_waits_out_open_window(self):
+        """A process without a reachable ◁-alternative must not abort
+        on an open breaker: it defers until the half-open probe."""
+        manager = ResilienceManager(
+            policy=RetryPolicy(
+                timeout=4.0, max_attempts=5, base_delay=0.5, jitter=0.0
+            ),
+            breaker=BreakerConfig(failure_threshold=1, reset_timeout=10.0),
+        )
+        scheduler = TransactionalProcessScheduler(resilience=manager)
+        flaky_user = build_process(
+            "A",
+            seq(pivot("A_p", service="ok_A"), retr("A_r", service="flaky")),
+        )
+        no_alternative = build_process(
+            "C",
+            seq(pivot("C_p", service="ok_C"), retr("C_r", service="flaky")),
+        )
+        scheduler.submit(
+            flaky_user, failures=FailurePlan.fail_times("flaky", 1)
+        )
+        scheduler.submit(no_alternative)
+        scheduler.run()
+        statuses = {pid: s.value for pid, s in scheduler.statuses().items()}
+        assert statuses == {"A": "committed", "C": "committed"}
+        assert manager.snapshot()["degradations"] == 0
+        # The open window was actually waited out in virtual time.
+        assert manager.now >= 10.0
+
+
+class TestUnavailabilityDegradation:
+    def test_crash_stop_degrades_processes_with_alternatives(self):
+        """While 'flaky' is crash-stopped, a process whose *preferred*
+        branch needs it degrades to its ◁-alternative instead of
+        waiting out the outage (or failing the activity)."""
+        manager = ResilienceManager(
+            policy=RetryPolicy(
+                timeout=4.0, max_attempts=3, base_delay=0.5, jitter=0.0
+            ),
+            breaker=BreakerConfig(failure_threshold=99, reset_timeout=5.0),
+        )
+        scheduler = TransactionalProcessScheduler(resilience=manager)
+        # D1's first 'flaky' invocation crash-stops the subsystem for a
+        # long outage; D2 then finds it down at its preferred branch.
+        crasher = FaultScript({("flaky", 1): Fault(FaultKind.CRASH, 20.0)})
+        d1 = build_process(
+            "D1",
+            seq(pivot("D1_p", service="ok_D1"), retr("D1_r", service="flaky")),
+        )
+        scheduler.submit(d1, failures=crasher)
+        scheduler.submit(degradable_process("D2"))
+        scheduler.run()
+        statuses = {pid: s.value for pid, s in scheduler.statuses().items()}
+        assert statuses == {"D1": "committed", "D2": "committed"}
+        activities = [
+            event.activity.activity_name
+            for event in scheduler.history().events_of("D2")
+        ]
+        assert "D2_alt" in activities
+        assert "D2_pref" not in activities
+        snapshot = manager.snapshot()
+        assert snapshot["unavailable"] >= 1
+        assert snapshot["degradations"] == 1
+        assert check_pred(scheduler.history()).is_pred
+
+    def test_crash_stop_defers_process_without_alternatives(self):
+        """Without an alternative the process waits for recovery —
+        guaranteed termination via the virtual clock, not an abort."""
+        manager = ResilienceManager(
+            policy=RetryPolicy(timeout=4.0, max_attempts=3, jitter=0.0),
+            breaker=BreakerConfig(failure_threshold=99, reset_timeout=5.0),
+        )
+        scheduler = TransactionalProcessScheduler(resilience=manager)
+        crasher = FaultScript({("flaky", 1): Fault(FaultKind.CRASH, 8.0)})
+        no_alternative = build_process(
+            "E",
+            seq(pivot("E_p", service="ok_E"), retr("E_r", service="flaky")),
+        )
+        scheduler.submit(no_alternative, failures=crasher)
+        scheduler.run()
+        statuses = {pid: s.value for pid, s in scheduler.statuses().items()}
+        assert statuses == {"E": "committed"}
+        assert manager.counters["unavailable"] >= 1
+        assert manager.now >= 8.0

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import InvalidDelayError, ReproError, SimulationError
 from repro.sim.clock import VirtualClock
 from repro.sim.engine import EventQueue
 
@@ -58,11 +59,30 @@ class TestEventQueue:
         with pytest.raises(ValueError):
             queue.schedule(-1.0, lambda: None)
 
+    def test_negative_delay_raises_typed_error(self):
+        """The typed error from repro.errors, not a bare ValueError."""
+        queue = EventQueue()
+        with pytest.raises(InvalidDelayError):
+            queue.schedule(-0.5, lambda: None)
+
+    def test_invalid_delay_error_hierarchy(self):
+        """Catchable as ValueError (back-compat) and as ReproError."""
+        assert issubclass(InvalidDelayError, ValueError)
+        assert issubclass(InvalidDelayError, SimulationError)
+        assert issubclass(SimulationError, ReproError)
+
     def test_schedule_in_past_rejected(self):
         queue = EventQueue()
         queue.schedule(1.0, lambda: None)
         queue.run_next()
         with pytest.raises(ValueError):
+            queue.schedule_at(0.5, lambda: None)
+
+    def test_schedule_in_past_raises_typed_error(self):
+        queue = EventQueue()
+        queue.schedule(1.0, lambda: None)
+        queue.run_next()
+        with pytest.raises(InvalidDelayError):
             queue.schedule_at(0.5, lambda: None)
 
     def test_callbacks_may_schedule_more(self):
