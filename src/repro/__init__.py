@@ -146,10 +146,18 @@ from repro.subsystems.failures import (
     NoFailures,
     ProbabilisticFailures,
 )
-from repro.subsystems.recovery import RecoveryReport, recover
+from repro.subsystems.recovery import (
+    RecoveryReport,
+    WalAnalysis,
+    WalScanState,
+    analyze_wal,
+    recover,
+    replay_history,
+    scan_wal,
+)
 from repro.subsystems.repository import ProcessRepository
 from repro.subsystems.subsystem import Subsystem, SubsystemRegistry
-from repro.subsystems.wal import FileWAL, InMemoryWAL
+from repro.subsystems.wal import FileWAL, InMemoryWAL, WriteAheadLog
 
 __version__ = "1.0.0"
 
@@ -223,6 +231,12 @@ __all__ = [
     "ProbabilisticFailures",
     "InMemoryWAL",
     "FileWAL",
+    "WriteAheadLog",
+    "WalAnalysis",
+    "WalScanState",
+    "analyze_wal",
+    "scan_wal",
+    "replay_history",
     "recover",
     "RecoveryReport",
     "ProcessRepository",

@@ -32,6 +32,13 @@ Commands
     crash-stops while the resilience layer (timeouts, backoff, circuit
     breakers, ◁-degradation) keeps the execution PRED-certifiable.
     Prints the per-run fault/retry/breaker/degradation counters.
+
+``crashpoints``
+    Crash-point torture sweep: crash the scheduler after every LSN of a
+    seeded workload (and recovery after each of its own appends),
+    inject torn-tail/bit-flip faults into an on-disk log, re-run
+    restart recovery and certify every combined history with the
+    offline PRED/RED/termination checkers.
 """
 
 from __future__ import annotations
@@ -283,6 +290,47 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if certified == len(results) else 1
 
 
+def _cmd_crashpoints(args: argparse.Namespace) -> int:
+    from repro.sim.crashpoints import CrashPointSpec, run_crashpoints
+
+    base = CrashPointSpec(
+        workload=WorkloadSpec(
+            processes=args.processes,
+            prefix_range=(1, 3),
+            service_pool=8,
+            conflict_rate=args.conflicts,
+        ),
+        abort_rate=args.abort_rate,
+        checkpoint_interval=args.checkpoint_interval,
+        stride=args.stride,
+        recovery_stride=args.recovery_stride,
+    )
+    sweeps = [
+        run_crashpoints(
+            base.with_seed(seed), file_faults=not args.no_file_faults
+        )
+        for seed in args.seeds
+    ]
+    print(
+        format_table(
+            [sweep.row() for sweep in sweeps],
+            title=f"crash-point sweep (seeds {args.seeds})",
+        )
+    )
+    total = sum(len(sweep.results) for sweep in sweeps)
+    faults = sum(len(sweep.file_faults) for sweep in sweeps)
+    certified = all(sweep.all_certified for sweep in sweeps)
+    print(
+        f"\n{total} crash points + {faults} file faults swept; "
+        f"{'all certified' if certified else 'CERTIFICATION FAILURES'} "
+        f"(PRED + reducible + terminated + idempotent recovery)"
+    )
+    for sweep in sweeps:
+        for note in sweep.failures:
+            print(f"  seed {sweep.spec.seed}: {note}")
+    return 0 if certified else 1
+
+
 def _cmd_dot(args: argparse.Namespace) -> int:
     with open(args.file, "r", encoding="utf-8") as handle:
         payload = json.load(handle)
@@ -424,6 +472,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="report instead of raising when a run fails certification",
     )
     chaos.set_defaults(handler=_cmd_chaos)
+
+    crashpoints = commands.add_parser(
+        "crashpoints",
+        help="crash after every LSN (and every recovery step), certify",
+    )
+    crashpoints.add_argument("--processes", type=int, default=4)
+    crashpoints.add_argument("--conflicts", type=float, default=0.08)
+    crashpoints.add_argument("--seeds", type=int, nargs="+", default=[0])
+    crashpoints.add_argument(
+        "--abort-rate",
+        type=float,
+        default=0.25,
+        help="pre-crash chaos abort injection rate",
+    )
+    crashpoints.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=None,
+        help="auto-checkpoint the WAL every N appends (default: never)",
+    )
+    crashpoints.add_argument(
+        "--stride",
+        type=int,
+        default=1,
+        help="crash after every Nth LSN (1 = every single one)",
+    )
+    crashpoints.add_argument(
+        "--recovery-stride",
+        type=int,
+        default=1,
+        help=(
+            "sweep second-crash-during-recovery at every Nth crash point "
+            "(0 disables)"
+        ),
+    )
+    crashpoints.add_argument(
+        "--no-file-faults",
+        action="store_true",
+        help="skip the torn-tail / bit-flip FileWAL torture",
+    )
+    crashpoints.set_defaults(handler=_cmd_crashpoints)
     return parser
 
 

@@ -268,6 +268,7 @@ class TransactionalProcessScheduler:
         auto_provision: bool = True,
         interleaving: Optional[Callable[[List[str]], List[str]]] = None,
         resilience: Optional[ResilienceManager] = None,
+        checkpoint_interval: Optional[int] = None,
     ) -> None:
         self.registry = registry if registry is not None else SubsystemRegistry()
         self.rules = rules if rules is not None else SchedulerRules()
@@ -289,6 +290,17 @@ class TransactionalProcessScheduler:
         self._coordinator = TwoPhaseCoordinator(wal=wal)
         self._interleaving = interleaving or (lambda ids: ids)
         self._closed = False
+        #: Auto-checkpoint the WAL every N scheduler appends (``None``
+        #: disables).  Checkpoints compact the log so restart replay
+        #: cost is bounded by the interval, not total history length.
+        if checkpoint_interval is not None and checkpoint_interval < 1:
+            raise ValueError("checkpoint_interval must be a positive int")
+        self.checkpoint_interval = checkpoint_interval
+        self._appends_since_checkpoint = 0
+        #: While True, :meth:`_wal` is a no-op: recovery replays
+        #: already-logged history through the normal bookkeeping paths,
+        #: and re-appending those records would duplicate the log.
+        self._replaying = False
         #: ``("activity", log_position)`` / ``("termination", event)``
         #: entries in global execution order — the source of
         #: :meth:`history`.
@@ -1498,8 +1510,54 @@ class TransactionalProcessScheduler:
         self._paranoid_upto = len(history) + 1
 
     def _wal(self, record: Dict[str, object]) -> None:
-        if self.wal is not None:
-            self.wal.append(record)
+        if self.wal is None or self._replaying:
+            return
+        self.wal.append(record)
+        if self.checkpoint_interval is not None:
+            self._appends_since_checkpoint += 1
+            if self._appends_since_checkpoint >= self.checkpoint_interval:
+                self.checkpoint()
+
+    def checkpoint(self) -> Optional[int]:
+        """Checkpoint the WAL: snapshot the scan state and compact.
+
+        Folds the retained log into a
+        :class:`~repro.subsystems.recovery.WalScanState`, prunes events
+        of terminated processes, and writes the snapshot as a
+        ``checkpoint`` record that replaces all earlier records.  After
+        a crash, recovery's analysis resumes from the snapshot, so
+        replay cost is bounded by the distance to the last checkpoint.
+
+        Returns the checkpoint's LSN, or ``None`` when no WAL is
+        attached.
+        """
+        if self.wal is None:
+            return None
+        # Lazy import: recovery imports this module for the scheduler.
+        from repro.subsystems.recovery import scan_wal
+
+        state = scan_wal(self.wal).prune()
+        lsn = self.wal.checkpoint(state.to_dict())
+        self._appends_since_checkpoint = 0
+        return lsn
+
+    # ------------------------------------------------------------------
+    # recovery replay
+    # ------------------------------------------------------------------
+
+    def begin_replay(self) -> None:
+        """Enter replay mode: bookkeeping runs, the WAL stays silent.
+
+        Restart recovery replays surviving pre-crash events through the
+        scheduler's normal paths to rebuild conflict state; those
+        records are already durable, so logging them again would
+        double-count history on the next recovery.
+        """
+        self._replaying = True
+
+    def end_replay(self) -> None:
+        """Leave replay mode: subsequent events are WAL-logged again."""
+        self._replaying = False
 
     # ------------------------------------------------------------------
     # instrumentation

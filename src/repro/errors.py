@@ -210,7 +210,29 @@ class RecoveryError(ReproError):
 
 
 class LogCorruptionError(RecoveryError):
-    """The write-ahead log could not be parsed during restart."""
+    """The write-ahead log could not be parsed during restart.
+
+    Raised for *mid-log* corruption only — a checksum mismatch, torn
+    record or malformed line that is followed by further intact records
+    cannot be explained by a crash during the last append, so the log
+    is genuinely damaged and recovery must not guess.  A corrupt *tail*
+    record is instead salvaged (truncated) by the WAL's torn-tail
+    policy, because a crash mid-append produces exactly that shape.
+
+    ``lsn`` is the sequence number of the record that failed to load
+    (``None`` when it could not be determined) and ``offset`` the byte
+    offset of the record's line in the log file.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        lsn: "int | None" = None,
+        offset: "int | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.lsn = lsn
+        self.offset = offset
 
 
 class UnrecoverableStateError(RecoveryError):

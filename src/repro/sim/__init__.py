@@ -16,9 +16,22 @@ from repro.sim.workload import (
 )
 from repro.sim.experiments import DISCIPLINES, grade_history, run_discipline, sweep
 from repro.sim.chaos import (
+    Certification,
     ChaosResult,
     ChaosSpec,
+    certify_history,
     chaos_sweep,
     default_mixes,
     run_chaos,
+)
+from repro.sim.crashpoints import (
+    CrashingWAL,
+    CrashPointResult,
+    CrashPointSpec,
+    CrashPointSweep,
+    FileFaultResult,
+    SimulatedCrash,
+    crash_once,
+    run_crashpoints,
+    run_file_faults,
 )

@@ -32,7 +32,49 @@ from repro.sim.runner import SimulationRunner
 from repro.sim.workload import WorkloadSpec, generate_workload
 from repro.subsystems.failures import ChaosPolicy
 
-__all__ = ["ChaosSpec", "ChaosResult", "default_mixes", "run_chaos", "chaos_sweep"]
+__all__ = [
+    "ChaosSpec",
+    "ChaosResult",
+    "Certification",
+    "certify_history",
+    "default_mixes",
+    "run_chaos",
+    "chaos_sweep",
+]
+
+
+@dataclass(frozen=True)
+class Certification:
+    """Offline verdict on one produced history (chaos and crash-point
+    harnesses share it): PRED, reducibility, and termination."""
+
+    pred: bool
+    reducible: bool
+    terminated: bool
+
+    @property
+    def certified(self) -> bool:
+        return self.pred and self.reducible and self.terminated
+
+    def describe(self) -> str:
+        return (
+            f"pred={self.pred} reducible={self.reducible} "
+            f"terminated={self.terminated}"
+        )
+
+
+def certify_history(history, terminated: bool) -> Certification:
+    """Run the offline checkers over a produced history.
+
+    ``terminated`` is the harness's own observation that every submitted
+    process reached a terminal state (guaranteed termination) — the
+    checkers cannot see processes that produced no events.
+    """
+    return Certification(
+        pred=check_pred(history).is_pred,
+        reducible=reduce_schedule(history).is_reducible,
+        terminated=terminated,
+    )
 
 
 @dataclass(frozen=True)
@@ -204,27 +246,23 @@ def run_chaos(spec: ChaosSpec, certify: bool = True) -> ChaosResult:
     """
     scheduler, runner, chaos = _build(spec)
     metrics = runner.run()
-    history = scheduler.history()
-    pred = check_pred(history).is_pred
-    reducible = reduce_schedule(history).is_reducible
-    terminated = scheduler.all_terminated()
+    verdict = certify_history(scheduler.history(), scheduler.all_terminated())
     counters = scheduler.resilience.snapshot()
-    metrics.prefix_reducible = pred
+    metrics.prefix_reducible = verdict.pred
     metrics.faults_injected = chaos.total_injected
     result = ChaosResult(
         spec=spec,
         metrics=metrics,
         injected=dict(chaos.injected),
         counters=counters,
-        pred=pred,
-        reducible=reducible,
-        terminated=terminated,
+        pred=verdict.pred,
+        reducible=verdict.reducible,
+        terminated=verdict.terminated,
     )
     if certify and not result.certified:
         raise CorrectnessViolation(
             f"chaos run {spec.name!r} (seed {spec.seed}) failed "
-            f"certification: pred={pred} reducible={reducible} "
-            f"terminated={terminated}"
+            f"certification: {verdict.describe()}"
         )
     return result
 

@@ -1,0 +1,563 @@
+"""Crash-point torture harness: crash everywhere, recover, certify.
+
+The paper's recovery story (Definition 8 2(b)) promises that a crash at
+*any* moment leaves the process manager able to finish every active
+process through its completion.  This harness makes "any moment"
+operational: for a seeded workload it
+
+* crashes the scheduler after **every LSN** the write-ahead log ever
+  reaches (a :class:`CrashingWAL` wrapper raises
+  :class:`SimulatedCrash` right after a chosen record becomes durable),
+* crashes **recovery itself** after every record the recovery pass
+  appends (the second-crash-during-recovery case restartable recovery
+  exists for),
+* injects **file-level faults** — torn tails and bit flips — into an
+  on-disk :class:`~repro.subsystems.wal.FileWAL` and checks the salvage
+  / typed-corruption contract,
+
+then re-runs :func:`~repro.subsystems.recovery.recover` and certifies
+the combined pre+post-crash history with the offline PRED/RED and
+termination checkers (shared with the chaos harness via
+:func:`~repro.sim.chaos.certify_history`).  Each crash point also
+checks recovery *idempotence*: a second :func:`recover` must append
+nothing and abort nothing.
+
+Faults can be mixed in: an abort-rate chaos policy (deterministic per
+seed) exercises alternative paths and compensations before the crash,
+so crash points land inside partially-compensated histories too.
+
+Entry points:
+
+* :func:`run_crashpoints` — the full seeded sweep (benchmark X9, CLI
+  ``python -m repro crashpoints``);
+* :func:`crash_once` — one crash point, recovered and certified;
+* :func:`run_file_faults` — torn-tail / bit-flip torture on a FileWAL.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.scheduler import TransactionalProcessScheduler
+from repro.errors import LogCorruptionError
+from repro.sim.chaos import Certification, certify_history
+from repro.sim.workload import WorkloadSpec, generate_workload
+from repro.subsystems.failures import ChaosPolicy, FailurePolicy, NoFailures
+from repro.subsystems.recovery import (
+    analyze_wal,
+    recover,
+    replay_history,
+)
+from repro.subsystems.wal import FileWAL, InMemoryWAL, WriteAheadLog
+
+__all__ = [
+    "SimulatedCrash",
+    "CrashingWAL",
+    "CrashPointSpec",
+    "CrashPointResult",
+    "CrashPointSweep",
+    "FileFaultResult",
+    "baseline_lsns",
+    "crash_once",
+    "run_crashpoints",
+    "run_file_faults",
+]
+
+
+class SimulatedCrash(Exception):
+    """Control signal: the simulated machine died at this instant.
+
+    Deliberately **not** a :class:`~repro.errors.ReproError` — the
+    scheduler's typed error handling must never catch it, exactly as no
+    exception handler survives a real power failure.  ``lsn`` is the
+    last record that made it to the log before the lights went out.
+    """
+
+    def __init__(self, lsn: int) -> None:
+        super().__init__(f"simulated crash after lsn {lsn}")
+        self.lsn = lsn
+
+
+class CrashingWAL(WriteAheadLog):
+    """WAL wrapper that kills the process after a chosen durable write.
+
+    The crash fires *after* the inner append returns — the record is on
+    the log, the scheduler never learns it succeeded.  That is the
+    worst honest crash shape: everything before the crash point is
+    durable, nothing after it happened.  Two triggers:
+
+    * ``crash_lsn`` — fire once a record with this LSN (or beyond, for
+      LSNs consumed by checkpoint compaction) is written;
+    * ``crash_after_appends`` — fire after the N-th append *through
+      this wrapper* (used to crash recovery at each of its own steps).
+    """
+
+    def __init__(
+        self,
+        inner: WriteAheadLog,
+        crash_lsn: Optional[int] = None,
+        crash_after_appends: Optional[int] = None,
+    ) -> None:
+        self.inner = inner
+        self.crash_lsn = crash_lsn
+        self.crash_after_appends = crash_after_appends
+        self.appends = 0
+        self.fired = False
+
+    def _after_write(self, lsn: int) -> None:
+        if self.fired:
+            return
+        self.appends += 1
+        if self.crash_lsn is not None and lsn >= self.crash_lsn:
+            self.fired = True
+            raise SimulatedCrash(lsn)
+        if (
+            self.crash_after_appends is not None
+            and self.appends >= self.crash_after_appends
+        ):
+            self.fired = True
+            raise SimulatedCrash(lsn)
+
+    def append(self, record: Dict[str, object]) -> int:
+        lsn = self.inner.append(record)
+        self._after_write(lsn)
+        return lsn
+
+    def checkpoint(self, state: Dict[str, object]) -> int:
+        lsn = self.inner.checkpoint(state)
+        self._after_write(lsn)
+        return lsn
+
+    def records(self) -> List[Dict[str, object]]:
+        return self.inner.records()
+
+    def truncate(self) -> None:
+        self.inner.truncate()
+
+    def close(self) -> None:
+        self.inner.close()
+
+    def sync(self) -> None:
+        self.inner.sync()
+
+
+@dataclass(frozen=True)
+class CrashPointSpec:
+    """One torture campaign: workload shape + fault knobs + coverage."""
+
+    name: str = "crashpoints"
+    workload: WorkloadSpec = field(
+        default_factory=lambda: WorkloadSpec(
+            processes=4,
+            prefix_range=(1, 3),
+            service_pool=8,
+            conflict_rate=0.08,
+        )
+    )
+    #: Pre-crash chaos: per-attempt abort injection (deterministic per
+    #: seed; 0 disables).  Aborts force alternative paths and
+    #: compensations, so crash points land in mid-recovery shapes.
+    abort_rate: float = 0.25
+    #: Auto-checkpoint the scheduler every N WAL appends (None: never).
+    checkpoint_interval: Optional[int] = None
+    #: Crash after every ``stride``-th LSN (1 = every single one).
+    stride: int = 1
+    #: Also crash *recovery* after each of its own appends, at every
+    #: ``recovery_stride``-th crash LSN (0 disables the inner sweep).
+    recovery_stride: int = 1
+    #: Master seed (workload and chaos derive from it).
+    seed: int = 0
+
+    def with_seed(self, seed: int) -> "CrashPointSpec":
+        return replace(self, seed=seed)
+
+
+@dataclass
+class CrashPointResult:
+    """Verdict for one crash point (optionally one recovery crash)."""
+
+    crash_lsn: int
+    #: Recovery was additionally crashed after this many of its own
+    #: appends before the final, completing recovery (None: it wasn't).
+    recovery_crash_after: Optional[int]
+    #: The workload actually reached the crash point (late LSNs may
+    #: complete first — those runs certify the undisturbed history).
+    crashed: bool
+    certification: Certification
+    #: Second recover() appended nothing and aborted nothing.
+    idempotent: bool
+    #: No prepared transactions survived recovery.
+    in_doubt_clear: bool
+    #: The final recovery resumed a crashed one (recovery_begin without
+    #: recovery_end in the log).
+    resumed: bool
+    #: Records the final recovery's analysis had to iterate.
+    records_scanned: int
+    #: Retained log length after everything settled.
+    log_length: int
+
+    @property
+    def certified(self) -> bool:
+        return (
+            self.certification.certified
+            and self.idempotent
+            and self.in_doubt_clear
+        )
+
+    def describe(self) -> str:
+        where = f"lsn {self.crash_lsn}"
+        if self.recovery_crash_after is not None:
+            where += f" + recovery append {self.recovery_crash_after}"
+        return (
+            f"crash at {where}: {self.certification.describe()} "
+            f"idempotent={self.idempotent} in_doubt_clear={self.in_doubt_clear}"
+        )
+
+
+@dataclass
+class CrashPointSweep:
+    """Every crash point of one campaign, certified."""
+
+    spec: CrashPointSpec
+    #: Log length of the undisturbed baseline run (the LSN space swept).
+    total_lsns: int
+    results: List[CrashPointResult]
+    file_faults: List["FileFaultResult"] = field(default_factory=list)
+
+    @property
+    def all_certified(self) -> bool:
+        return all(result.certified for result in self.results) and all(
+            fault.passed for fault in self.file_faults
+        )
+
+    @property
+    def failures(self) -> List[str]:
+        notes = [
+            result.describe()
+            for result in self.results
+            if not result.certified
+        ]
+        notes.extend(
+            f"file fault {fault.fault}: {fault.detail}"
+            for fault in self.file_faults
+            if not fault.passed
+        )
+        return notes
+
+    def row(self) -> Dict[str, object]:
+        """Flat summary row for sweep tables."""
+        recovery_crashes = sum(
+            1
+            for result in self.results
+            if result.recovery_crash_after is not None
+        )
+        return {
+            "seed": self.spec.seed,
+            "lsns": self.total_lsns,
+            "crash_points": len(self.results) - recovery_crashes,
+            "recovery_crashes": recovery_crashes,
+            "file_faults": len(self.file_faults),
+            "max_scanned": max(
+                (result.records_scanned for result in self.results),
+                default=0,
+            ),
+            "certified": self.all_certified,
+        }
+
+
+def _build(spec: CrashPointSpec, wal: WriteAheadLog):
+    """Deterministic scheduler + repository for one campaign seed.
+
+    Processes are *not* submitted here — submission already writes the
+    log, so it belongs inside :func:`_drive`'s crash scope.
+    """
+    workload = generate_workload(replace(spec.workload, seed=spec.seed))
+    failures: FailurePolicy
+    if spec.abort_rate > 0.0:
+        failures = ChaosPolicy(abort_rate=spec.abort_rate, seed=spec.seed + 1)
+    else:
+        failures = NoFailures()
+    scheduler = TransactionalProcessScheduler(
+        conflicts=workload.conflicts,
+        wal=wal,
+        checkpoint_interval=spec.checkpoint_interval,
+    )
+    repository = {process.process_id: process for process in workload.processes}
+    return scheduler, repository, workload, failures
+
+
+def _drive(scheduler, workload, failures) -> bool:
+    """Submit and run the workload; True if a crash cut it short.
+
+    Submission is inside the crash scope: the very first LSNs belong to
+    ``process_submit`` records, and a crash there must be survivable
+    like any other.
+    """
+    rounds = 0
+    try:
+        for process in workload.processes:
+            scheduler.submit(process, failures=failures)
+        while not scheduler.all_terminated():
+            if not scheduler.step_round():
+                scheduler.resolve_stall()
+            rounds += 1
+            if rounds > 100_000:
+                raise RuntimeError("crash-point workload failed to converge")
+        return False
+    except SimulatedCrash:
+        return True
+
+
+def _certify(
+    wal: WriteAheadLog,
+    repository,
+    workload,
+    report,
+    compacted: bool,
+) -> Certification:
+    """Certify the combined pre+post-crash history.
+
+    On an uncompacted log the *entire* combined history is rebuilt from
+    the log and checked — the strongest claim.  Checkpoint compaction
+    discards old records by design, so there the certification covers
+    the recovery scheduler's own history (replayed survivors plus the
+    completions it drove).
+    """
+    terminated = not analyze_wal(wal).active
+    if compacted:
+        return certify_history(report.history, terminated)
+    full = replay_history(wal, repository, workload.conflicts)
+    return certify_history(full, terminated)
+
+
+def crash_once(
+    spec: CrashPointSpec,
+    crash_lsn: int,
+    recovery_crash_after: Optional[int] = None,
+) -> CrashPointResult:
+    """Crash at one LSN (optionally once more during recovery), recover
+    fully, and certify the outcome."""
+    inner = InMemoryWAL()
+    scheduler, repository, workload, failures = _build(
+        spec, CrashingWAL(inner, crash_lsn=crash_lsn)
+    )
+    crashed = _drive(scheduler, workload, failures)
+    scheduler.crash()
+
+    resumed = False
+    if crashed and recovery_crash_after is not None:
+        # Second crash: kill the first recovery after its N-th append.
+        try:
+            recover(
+                CrashingWAL(inner, crash_after_appends=recovery_crash_after),
+                scheduler.registry,
+                repository,
+                conflicts=workload.conflicts,
+            )
+        except SimulatedCrash:
+            pass  # the recovery died; the next one must resume it
+
+    report = recover(
+        inner, scheduler.registry, repository, conflicts=workload.conflicts
+    )
+    resumed = report.resumed
+    certification = _certify(
+        inner,
+        repository,
+        workload,
+        report,
+        compacted=spec.checkpoint_interval is not None,
+    )
+    in_doubt_clear = not scheduler.registry.prepared_transactions()
+
+    # Idempotence: a completed recovery leaves nothing for another.
+    length_before = len(inner)
+    again = recover(
+        inner, scheduler.registry, repository, conflicts=workload.conflicts
+    )
+    idempotent = again.noop and len(inner) == length_before
+
+    return CrashPointResult(
+        crash_lsn=crash_lsn,
+        recovery_crash_after=recovery_crash_after,
+        crashed=crashed,
+        certification=certification,
+        idempotent=idempotent,
+        in_doubt_clear=in_doubt_clear,
+        resumed=resumed,
+        records_scanned=report.analysis.records_scanned,
+        log_length=len(inner),
+    )
+
+
+def _recovery_appends(spec: CrashPointSpec, crash_lsn: int) -> int:
+    """How many records a clean recovery at this crash point appends."""
+    inner = InMemoryWAL()
+    scheduler, repository, workload, failures = _build(
+        spec, CrashingWAL(inner, crash_lsn=crash_lsn)
+    )
+    if not _drive(scheduler, workload, failures):
+        return 0
+    scheduler.crash()
+    before = len(inner)
+    recover(inner, scheduler.registry, repository, conflicts=workload.conflicts)
+    return len(inner) - before
+
+
+def baseline_lsns(spec: CrashPointSpec) -> int:
+    """Log length of the undisturbed run — the crash-LSN space."""
+    inner = InMemoryWAL()
+    scheduler, _, workload, failures = _build(spec, CrashingWAL(inner))
+    if _drive(scheduler, workload, failures):
+        raise AssertionError("baseline run must not crash")
+    # Compaction consumes LSNs too: the next LSN is the space bound.
+    records = inner.records()
+    if not records:
+        return 0
+    return int(records[-1]["lsn"]) + 1  # type: ignore[call-overload]
+
+
+def run_crashpoints(
+    spec: CrashPointSpec, file_faults: bool = True
+) -> CrashPointSweep:
+    """The full torture sweep for one seed.
+
+    Crashes after every ``stride``-th LSN of the baseline run; at every
+    ``recovery_stride``-th of those crash points additionally sweeps a
+    second crash through each append the recovery pass makes.  With
+    ``file_faults`` the torn-tail / bit-flip torture runs as well.
+    """
+    total = baseline_lsns(spec)
+    results: List[CrashPointResult] = []
+    for index, crash_lsn in enumerate(range(0, total, spec.stride)):
+        result = crash_once(spec, crash_lsn)
+        results.append(result)
+        if not result.crashed:
+            continue
+        if spec.recovery_stride and index % spec.recovery_stride == 0:
+            appends = _recovery_appends(spec, crash_lsn)
+            for step in range(1, appends + 1):
+                results.append(
+                    crash_once(spec, crash_lsn, recovery_crash_after=step)
+                )
+    faults = run_file_faults(spec) if file_faults else []
+    return CrashPointSweep(
+        spec=spec, total_lsns=total, results=results, file_faults=faults
+    )
+
+
+# ---------------------------------------------------------------------------
+# File-level fault torture
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FileFaultResult:
+    """Outcome of one on-disk fault injection."""
+
+    fault: str  # "torn_tail" | "bit_flip_tail" | "bit_flip_mid"
+    passed: bool
+    detail: str = ""
+
+
+def _file_crash_run(
+    spec: CrashPointSpec, path: str, crash_lsn: int
+) -> Tuple[Dict[str, object], object, object]:
+    """Drive the seeded workload over a FileWAL until the crash point."""
+    wal = FileWAL(path)
+    scheduler, repository, workload, failures = _build(
+        spec, CrashingWAL(wal, crash_lsn=crash_lsn)
+    )
+    _drive(scheduler, workload, failures)
+    scheduler.crash()
+    wal.close()
+    return repository, workload, scheduler.registry
+
+
+def run_file_faults(
+    spec: CrashPointSpec, crash_lsn: int = 12
+) -> List[FileFaultResult]:
+    """Torn-tail and bit-flip torture against the on-disk log.
+
+    * a torn tail (truncated mid-record, as a crash mid-append leaves
+      it) must salvage: the log reopens minus the torn record and
+      recovery certifies;
+    * a flipped bit in the *last* record must fail its checksum and
+      salvage the same way;
+    * a flipped bit in an *earlier* record must raise the typed
+      :class:`~repro.errors.LogCorruptionError` — mid-log damage is not
+      explainable by a crash and recovery must not guess.
+    """
+    results: List[FileFaultResult] = []
+    for fault in ("torn_tail", "bit_flip_tail", "bit_flip_mid"):
+        with tempfile.TemporaryDirectory(prefix="crashpoints-") as tmp:
+            path = os.path.join(tmp, "wal.jsonl")
+            repository, workload, registry = _file_crash_run(
+                spec, path, crash_lsn
+            )
+            with open(path, "rb") as handle:
+                raw = bytearray(handle.read())
+            if len(raw) < 40:
+                results.append(
+                    FileFaultResult(fault, False, "log too short to damage")
+                )
+                continue
+            if fault == "torn_tail":
+                damaged = bytes(raw[: len(raw) - 9])
+            elif fault == "bit_flip_tail":
+                line_start = raw.rstrip(b"\n").rfind(b"\n") + 1
+                raw[line_start + 20] ^= 0x04
+                damaged = bytes(raw)
+            else:  # bit_flip_mid: damage the first record's payload
+                raw[14] ^= 0x04
+                damaged = bytes(raw)
+            with open(path, "wb") as handle:
+                handle.write(damaged)
+
+            if fault == "bit_flip_mid":
+                try:
+                    FileWAL(path)
+                except LogCorruptionError as error:
+                    ok = error.offset == 0
+                    results.append(
+                        FileFaultResult(
+                            fault,
+                            ok,
+                            "" if ok else f"wrong offset: {error.offset}",
+                        )
+                    )
+                else:
+                    results.append(
+                        FileFaultResult(
+                            fault, False, "mid-log corruption not detected"
+                        )
+                    )
+                continue
+
+            wal = FileWAL(path)
+            if wal.salvaged is None:
+                results.append(
+                    FileFaultResult(fault, False, "tail damage not salvaged")
+                )
+                wal.close()
+                continue
+            report = recover(
+                wal, registry, repository, conflicts=workload.conflicts
+            )
+            certification = _certify(
+                wal, repository, workload, report, compacted=False
+            )
+            in_doubt = not registry.prepared_transactions()
+            ok = certification.certified and in_doubt
+            results.append(
+                FileFaultResult(
+                    fault,
+                    ok,
+                    "" if ok else certification.describe(),
+                )
+            )
+            wal.close()
+    return results

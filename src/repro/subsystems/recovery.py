@@ -11,17 +11,32 @@ Recovery proceeds in four phases:
 1. **Analysis** — scan the write-ahead log: which processes started and
    terminated, which activity events committed (and in which order),
    which invocations were prepared, rolled back, or covered by a logged
-   2PC commit decision.
+   2PC commit decision.  The scan is *checkpoint-aware*: a
+   ``checkpoint`` record carries a serialized :class:`WalScanState`
+   (written by :meth:`TransactionalProcessScheduler.checkpoint`), so
+   replay cost is bounded by the distance to the last checkpoint, not
+   the total history length.
 2. **In-doubt resolution** — prepared transactions with a logged 2PC
    commit decision are re-committed (the decision is the anchor);
    prepared transactions without one are presumed aborted and rolled
    back, and their events removed from the recovered history.
 3. **State rebuild** — each active process's
    :class:`~repro.core.instance.ProcessInstance` is reconstructed by
-   replaying its surviving events.
+   replaying its surviving events.  Replay is performed with the
+   scheduler's WAL suppressed — the log already holds these records,
+   so recovery never duplicates them.
 4. **Group abort** — a fresh scheduler executes every completion under
    the normal protocol rules (so Lemmas 2/3 orderings hold during
    recovery too) and the combined pre+post-crash history is certified.
+
+Recovery is **restartable**: it brackets its own work with
+``recovery_begin`` / ``recovery_end`` records, and every completion
+step it drives is itself WAL-logged by the scheduler.  A crash *during*
+recovery therefore resumes idempotently — the next :func:`recover`
+replays the already-logged compensations as history instead of
+re-executing them (no double compensation, no dropped forward path) —
+and running :func:`recover` again after a completed recovery appends
+nothing and aborts nothing.
 
 Returns a :class:`RecoveryReport` carrying the recovered scheduler, the
 full history and per-phase details.
@@ -42,14 +57,200 @@ from repro.core.scheduler import (
 )
 from repro.errors import UnknownProcessError
 from repro.subsystems.subsystem import SubsystemRegistry
-from repro.subsystems.wal import WriteAheadLog
+from repro.subsystems.wal import CHECKPOINT, WriteAheadLog
 
-__all__ = ["RecoveryReport", "analyze_wal", "recover"]
+__all__ = [
+    "WalScanState",
+    "WalAnalysis",
+    "scan_wal",
+    "analyze_wal",
+    "replay_history",
+    "RecoveryReport",
+    "recover",
+]
+
+
+@dataclass
+class WalScanState:
+    """Raw, checkpointable scan of the log (phase 1a).
+
+    Unlike :class:`WalAnalysis` this carries the *unresolved* state — a
+    prepared event is recorded as prepared, not yet classified as
+    presumed-aborted — because resolution depends on records that may
+    arrive after a checkpoint (the 2PC commit decision).  The scheduler
+    serializes this state into ``checkpoint`` records; the scan resumes
+    from it.
+    """
+
+    started: List[str] = field(default_factory=list)
+    committed: Set[str] = field(default_factory=set)
+    aborted: Set[str] = field(default_factory=set)
+    #: Unified ordered entries (JSON-safe lists):
+    #: ``["event", process, activity, direction, prepared]`` /
+    #: ``["commit", process]`` / ``["abort", process]``.
+    timeline: List[List[object]] = field(default_factory=list)
+    #: (process, activity) pairs natively rolled back.
+    rolled_back: Set[Tuple[str, str]] = field(default_factory=set)
+    #: transaction id -> 2PC group it participates in.
+    txn_groups: Dict[str, str] = field(default_factory=dict)
+    #: Groups with a logged commit decision.
+    decided_groups: Set[str] = field(default_factory=set)
+    #: Groups whose phase 2 completed.
+    ended_groups: Set[str] = field(default_factory=set)
+    #: Restartable-recovery bookkeeping.
+    recovery_begun: int = 0
+    recovery_ended: int = 0
+    #: Processes named by the latest ``recovery_begin`` without a
+    #: matching ``recovery_end`` — a recovery that crashed mid-flight.
+    recovery_pending: List[str] = field(default_factory=list)
+    #: Records iterated by this scan (excluding those folded into a
+    #: loaded checkpoint) — the replay-cost metric of benchmark X9.
+    records_scanned: int = 0
+
+    def observe(self, record: Mapping[str, object]) -> None:
+        """Fold one log record into the scan state."""
+        self.records_scanned += 1
+        kind = record.get("type")
+        if kind == "process_submit":
+            pid = str(record["process"])
+            if pid not in self.started:
+                self.started.append(pid)
+        elif kind == "process_commit":
+            pid = str(record["process"])
+            self.committed.add(pid)
+            self.timeline.append(["commit", pid])
+        elif kind == "process_abort":
+            pid = str(record["process"])
+            self.aborted.add(pid)
+            self.timeline.append(["abort", pid])
+        elif kind == "activity_commit":
+            self.timeline.append(
+                [
+                    "event",
+                    str(record["process"]),
+                    str(record["activity"]),
+                    int(record["direction"]),  # type: ignore[arg-type]
+                    bool(record.get("prepared")),
+                ]
+            )
+        elif kind == "activity_rollback":
+            self.rolled_back.add(
+                (str(record["process"]), str(record["activity"]))
+            )
+        elif kind == "2pc_begin":
+            group = str(record["group"])
+            for participant in record.get("participants", ()):  # type: ignore[union-attr]
+                # Participants are logged as "subsystem:txn_id".
+                txn_id = str(participant).split(":", 1)[-1]
+                self.txn_groups[txn_id] = group
+        elif kind == "2pc_commit":
+            self.decided_groups.add(str(record["group"]))
+        elif kind == "2pc_end":
+            self.ended_groups.add(str(record["group"]))
+        elif kind == "recovery_begin":
+            self.recovery_begun += 1
+            self.recovery_pending = [
+                str(pid) for pid in record.get("processes", ())  # type: ignore[union-attr]
+            ]
+        elif kind == "recovery_end":
+            self.recovery_ended += 1
+            self.recovery_pending = []
+
+    def prune(self) -> "WalScanState":
+        """Drop per-event state of terminated processes (checkpointing).
+
+        Recovery only replays events of processes that were *active* at
+        the crash; a checkpoint therefore retains the cheap identity
+        sets for every process but the timeline only for live ones, so
+        checkpoint size tracks the active working set, not history.
+        """
+        terminal = self.committed | self.aborted
+        return WalScanState(
+            started=list(self.started),
+            committed=set(self.committed),
+            aborted=set(self.aborted),
+            timeline=[
+                entry
+                for entry in self.timeline
+                if str(entry[1]) not in terminal
+            ],
+            rolled_back={
+                key for key in self.rolled_back if key[0] not in terminal
+            },
+            txn_groups=dict(self.txn_groups),
+            decided_groups=set(self.decided_groups),
+            ended_groups=set(self.ended_groups),
+            recovery_begun=self.recovery_begun,
+            recovery_ended=self.recovery_ended,
+            recovery_pending=list(self.recovery_pending),
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe serialization for checkpoint records."""
+        return {
+            "started": list(self.started),
+            "committed": sorted(self.committed),
+            "aborted": sorted(self.aborted),
+            "timeline": [list(entry) for entry in self.timeline],
+            "rolled_back": sorted(list(pair) for pair in self.rolled_back),
+            "txn_groups": dict(self.txn_groups),
+            "decided_groups": sorted(self.decided_groups),
+            "ended_groups": sorted(self.ended_groups),
+            "recovery_begun": self.recovery_begun,
+            "recovery_ended": self.recovery_ended,
+            "recovery_pending": list(self.recovery_pending),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "WalScanState":
+        return cls(
+            started=[str(pid) for pid in payload.get("started", ())],  # type: ignore[union-attr]
+            committed={str(pid) for pid in payload.get("committed", ())},  # type: ignore[union-attr]
+            aborted={str(pid) for pid in payload.get("aborted", ())},  # type: ignore[union-attr]
+            timeline=[list(entry) for entry in payload.get("timeline", ())],  # type: ignore[union-attr]
+            rolled_back={
+                (str(pair[0]), str(pair[1]))
+                for pair in payload.get("rolled_back", ())  # type: ignore[union-attr]
+            },
+            txn_groups={
+                str(txn): str(group)
+                for txn, group in dict(payload.get("txn_groups", {})).items()  # type: ignore[arg-type]
+            },
+            decided_groups={
+                str(group) for group in payload.get("decided_groups", ())  # type: ignore[union-attr]
+            },
+            ended_groups={
+                str(group) for group in payload.get("ended_groups", ())  # type: ignore[union-attr]
+            },
+            recovery_begun=int(payload.get("recovery_begun", 0)),  # type: ignore[arg-type]
+            recovery_ended=int(payload.get("recovery_ended", 0)),  # type: ignore[arg-type]
+            recovery_pending=[
+                str(pid) for pid in payload.get("recovery_pending", ())  # type: ignore[union-attr]
+            ],
+        )
+
+
+def scan_wal(wal: WriteAheadLog) -> WalScanState:
+    """Phase 1a: fold the log into a scan state, checkpoint-aware.
+
+    A ``checkpoint`` record *replaces* the accumulated state with its
+    serialized snapshot — on a compacted log the scan therefore starts
+    at the checkpoint; on an uncompacted one it reaches the same state
+    either way.
+    """
+    state = WalScanState()
+    for record in wal.records():
+        if record.get("type") == CHECKPOINT:
+            state = WalScanState.from_dict(record["state"])  # type: ignore[arg-type]
+            state.records_scanned = 0
+            continue
+        state.observe(record)
+    return state
 
 
 @dataclass
 class WalAnalysis:
-    """Phase-1 result: what the log says happened."""
+    """Phase-1 result: what the log says happened (resolved view)."""
 
     #: instance id -> process template id is identical in this library.
     started: List[str] = field(default_factory=list)
@@ -57,6 +258,9 @@ class WalAnalysis:
     aborted: Set[str] = field(default_factory=set)
     #: Ordered surviving activity events: (process, activity, direction).
     events: List[Tuple[str, str, int]] = field(default_factory=list)
+    #: Surviving events interleaved with terminations, in log order:
+    #: ("event", process, activity, direction) / ("commit"|"abort", pid).
+    timeline: List[Tuple[object, ...]] = field(default_factory=list)
     #: (process, activity) pairs whose prepared invocation lacks a 2PC
     #: commit decision — presumed aborted.
     presumed_aborted: List[Tuple[str, str]] = field(default_factory=list)
@@ -66,6 +270,14 @@ class WalAnalysis:
     txn_groups: Dict[str, str] = field(default_factory=dict)
     #: Groups with a logged commit decision.
     decided_groups: Set[str] = field(default_factory=set)
+    #: Recoveries begun (restartable-recovery attempt counter).
+    recovery_attempts: int = 0
+    #: Processes of a recovery that began but never logged its end — a
+    #: crash mid-recovery; the next recover() resumes them.
+    recovery_pending: List[str] = field(default_factory=list)
+    #: Records iterated by the underlying scan (bounded by the last
+    #: checkpoint's distance on compacted logs).
+    records_scanned: int = 0
 
     @property
     def active(self) -> List[str]:
@@ -78,70 +290,96 @@ class WalAnalysis:
 
 def analyze_wal(wal: WriteAheadLog) -> WalAnalysis:
     """Phase 1: reconstruct the pre-crash state from the log."""
-    analysis = WalAnalysis()
-    #: (process, activity) -> index into analysis.events
-    event_index: Dict[Tuple[str, str], int] = {}
-    prepared: Dict[Tuple[str, str], bool] = {}
-    hardened_processes_groups: Dict[str, str] = {}
-    decided_groups: Set[str] = set()
-    ended_groups: Set[str] = set()
-    raw_events: List[Tuple[str, str, int, bool]] = []  # + prepared flag
-    rolled_back: Set[Tuple[str, str]] = set()
-    hardened: Set[str] = set()
+    return _resolve(scan_wal(wal))
 
-    for record in wal.records():
-        kind = record.get("type")
-        if kind == "process_submit":
-            analysis.started.append(str(record["process"]))
-        elif kind == "process_commit":
-            analysis.committed.add(str(record["process"]))
-        elif kind == "process_abort":
-            analysis.aborted.add(str(record["process"]))
-        elif kind == "activity_commit":
-            raw_events.append(
-                (
-                    str(record["process"]),
-                    str(record["activity"]),
-                    int(record["direction"]),  # type: ignore[arg-type]
-                    bool(record.get("prepared")),
-                )
-            )
-        elif kind == "activity_rollback":
-            rolled_back.add(
-                (str(record["process"]), str(record["activity"]))
-            )
-        elif kind == "hardened":
-            hardened.add(str(record["process"]))
-        elif kind == "2pc_begin":
-            group = str(record["group"])
-            for participant in record.get("participants", ()):  # type: ignore[union-attr]
-                # Participants are logged as "subsystem:txn_id".
-                txn_id = str(participant).split(":", 1)[-1]
-                analysis.txn_groups[txn_id] = group
-        elif kind == "2pc_commit":
-            decided_groups.add(str(record["group"]))
-        elif kind == "2pc_end":
-            ended_groups.add(str(record["group"]))
 
-    analysis.decided_groups = decided_groups
-    analysis.in_doubt_committed_groups = sorted(decided_groups - ended_groups)
-
-    for process_id, activity, direction, was_prepared in raw_events:
+def _resolve(state: WalScanState) -> WalAnalysis:
+    """Phase 1b: resolve the raw scan into the recovered view."""
+    analysis = WalAnalysis(
+        started=list(state.started),
+        committed=set(state.committed),
+        aborted=set(state.aborted),
+        txn_groups=dict(state.txn_groups),
+        decided_groups=set(state.decided_groups),
+        recovery_attempts=state.recovery_begun,
+        recovery_pending=list(state.recovery_pending),
+        records_scanned=state.records_scanned,
+    )
+    analysis.in_doubt_committed_groups = sorted(
+        state.decided_groups - state.ended_groups
+    )
+    for entry in state.timeline:
+        kind = entry[0]
+        if kind in ("commit", "abort"):
+            analysis.timeline.append((kind, str(entry[1])))
+            continue
+        _, process_id, activity, direction, was_prepared = entry
+        process_id = str(process_id)
+        activity = str(activity)
+        direction = int(direction)  # type: ignore[arg-type]
         key = (process_id, activity)
-        if direction == 1 and key in rolled_back:
+        if direction == 1 and key in state.rolled_back:
             continue
         if (
             direction == 1
             and was_prepared
             and process_id not in analysis.committed
-            and f"harden:{process_id}" not in decided_groups
+            and f"harden:{process_id}" not in state.decided_groups
         ):
             # Prepared, never covered by a commit decision: presumed
             # aborted; the invocation's effects never became durable.
             analysis.presumed_aborted.append(key)
             continue
         analysis.events.append((process_id, activity, direction))
+        analysis.timeline.append(("event", process_id, activity, direction))
     return analysis
+
+
+def replay_history(
+    wal: WriteAheadLog,
+    processes: Mapping[str, Process],
+    conflicts: Optional[ConflictRelation] = None,
+) -> ProcessSchedule:
+    """Reconstruct the full logged history as a :class:`ProcessSchedule`.
+
+    Includes every surviving activity event and every termination event
+    the log retains, across *all* processes (also those that terminated
+    before a crash) — the combined pre+post-crash history the offline
+    checkers certify.  On a checkpoint-compacted log, reconstruction
+    reaches back as far as the retained records/checkpoint state do.
+    """
+    analysis = analyze_wal(wal)
+    for pid in analysis.started:
+        if pid not in processes:
+            raise UnknownProcessError(
+                f"WAL references process {pid!r} missing from the repository"
+            )
+    present = {
+        pid
+        for entry in analysis.timeline
+        for pid in [str(entry[1])]
+    }
+    schedule = ProcessSchedule(
+        (
+            processes[pid].renamed(pid)
+            for pid in analysis.started
+            if pid in present
+        ),
+        conflicts,
+    )
+    for entry in analysis.timeline:
+        if entry[0] == "event":
+            _, pid, activity, direction = entry
+            schedule.record(
+                str(pid),
+                str(activity),
+                Direction.FORWARD if direction == 1 else Direction.COMPENSATION,
+            )
+        elif entry[0] == "commit":
+            schedule.record_commit(str(entry[1]))
+        else:
+            schedule.record_abort(str(entry[1]))
+    return schedule
 
 
 @dataclass
@@ -158,6 +396,10 @@ class RecoveryReport:
     #: Prepared transactions rolled back during in-doubt resolution.
     rolled_back_in_doubt: int = 0
     re_committed_in_doubt: int = 0
+    #: This recovery resumed one that crashed mid-group-abort.
+    resumed: bool = False
+    #: Nothing was active: recovery appended and executed nothing.
+    noop: bool = False
 
 
 def recover(
@@ -171,6 +413,11 @@ def recover(
 
     ``processes`` maps instance ids (as submitted pre-crash) to their
     templates — the process repository every workflow system persists.
+
+    Restartable: a crash during a previous recovery is resumed (the
+    logged completion steps replay as history, the rest executes), and
+    calling :func:`recover` again after a completed recovery is a
+    no-op — nothing is re-compensated and nothing is appended.
     """
     analysis = analyze_wal(wal)
     for pid in analysis.started:
@@ -194,7 +441,10 @@ def recover(
             undone += 1
 
     # Phase 3+4: rebuild instances and run the group abort under a fresh
-    # scheduler, seeded with the surviving pre-crash events.
+    # scheduler, seeded with the surviving pre-crash events.  The replay
+    # happens with WAL writes suppressed: these records are already in
+    # the log, and re-appending them is what made a crash mid-recovery
+    # double-count history.
     scheduler = TransactionalProcessScheduler(
         registry=registry,
         conflicts=conflicts,
@@ -206,37 +456,61 @@ def recover(
         pre_crash.setdefault(process_id, []).append((activity, direction))
 
     active = analysis.active
-    for pid in active:
-        scheduler.submit(processes[pid], instance_id=pid)
-    # Replay the surviving events in their ORIGINAL GLOBAL ORDER — the
-    # interleaving determines the conflict edges, and per-process
-    # grouping would invent edges that never existed (and can deadlock
-    # the group abort against itself).
-    for process_id, activity, direction in analysis.events:
-        if process_id not in scheduler.instance_ids():
-            continue  # events of processes that terminated pre-crash
-        managed = scheduler.managed(process_id)
-        scheduler._record_event(  # noqa: SLF001 - recovery is a friend
-            managed,
-            activity,
-            Direction.FORWARD if direction == 1 else Direction.COMPENSATION,
-        )
-    for pid in active:
-        managed = scheduler.managed(pid)
-        managed.instance = _rebuild_instance(
-            scheduler, processes[pid], pid, pre_crash.get(pid, ())
-        )
-        # Surviving non-compensatable events were covered by a logged
-        # 2PC decision (otherwise presumed aborted in analysis): they
-        # are hardened.
-        for activity, direction in pre_crash.get(pid, ()):
-            definition = processes[pid].activity(activity)
-            if direction == 1 and not definition.kind.is_compensatable:
-                managed.hardened.add(activity)
+    scheduler.begin_replay()
+    try:
+        for pid in active:
+            scheduler.submit(processes[pid], instance_id=pid)
+        # Replay the surviving events in their ORIGINAL GLOBAL ORDER — the
+        # interleaving determines the conflict edges, and per-process
+        # grouping would invent edges that never existed (and can deadlock
+        # the group abort against itself).
+        for process_id, activity, direction in analysis.events:
+            if process_id not in scheduler.instance_ids():
+                continue  # events of processes that terminated pre-crash
+            managed = scheduler.managed(process_id)
+            scheduler._record_event(  # noqa: SLF001 - recovery is a friend
+                managed,
+                activity,
+                Direction.FORWARD if direction == 1 else Direction.COMPENSATION,
+            )
+        for pid in active:
+            managed = scheduler.managed(pid)
+            managed.instance = _rebuild_instance(
+                scheduler, processes[pid], pid, pre_crash.get(pid, ())
+            )
+            # Surviving non-compensatable events were covered by a logged
+            # 2PC decision (otherwise presumed aborted in analysis): they
+            # are hardened.
+            for activity, direction in pre_crash.get(pid, ()):
+                definition = processes[pid].activity(activity)
+                if direction == 1 and not definition.kind.is_compensatable:
+                    managed.hardened.add(activity)
+    finally:
+        scheduler.end_replay()
 
+    if not active:
+        # Idempotent no-op: every process already reached its terminal
+        # record; append nothing, execute nothing.
+        return RecoveryReport(
+            analysis=analysis,
+            group_aborted=(),
+            scheduler=scheduler,
+            history=scheduler.history(),
+            rolled_back_in_doubt=undone,
+            re_committed_in_doubt=redone,
+            resumed=False,
+            noop=True,
+        )
+
+    resumed = bool(analysis.recovery_pending)
     if scheduler.wal is not None:
         scheduler.wal.append(
-            {"type": "recovery_group_abort", "processes": list(active)}
+            {
+                "type": "recovery_begin",
+                "processes": list(active),
+                "attempt": analysis.recovery_attempts + 1,
+                "resumed": resumed,
+            }
         )
     for pid in active:
         managed = scheduler.managed(pid)
@@ -247,6 +521,10 @@ def recover(
             # completion had fully executed pre-crash); record it.
             scheduler.step(pid)
     history = scheduler.run()
+    if scheduler.wal is not None:
+        scheduler.wal.append(
+            {"type": "recovery_end", "processes": list(active)}
+        )
     return RecoveryReport(
         analysis=analysis,
         group_aborted=tuple(active),
@@ -254,6 +532,7 @@ def recover(
         history=history,
         rolled_back_in_doubt=undone,
         re_committed_in_doubt=redone,
+        resumed=resumed,
     )
 
 

@@ -12,22 +12,66 @@ Two log implementations share one interface:
 * :class:`InMemoryWAL` — survives a *simulated* scheduler crash (the
   scheduler object is discarded, the log object is handed to recovery),
   the default for tests and benchmarks;
-* :class:`FileWAL` — appends JSON lines to a file and can be re-opened,
-  for examples that demonstrate real restart.
+* :class:`FileWAL` — durable on-disk log, re-openable across real
+  process restarts.
 
 Records are plain dictionaries with a ``type`` key; every append gets a
 monotonically increasing log sequence number (``lsn``).
+
+On-disk format (WAL v2)
+-----------------------
+
+Each record is one line::
+
+    <crc32 hex, 8 chars> <canonical compact JSON>\\n
+
+The checksum covers the JSON payload bytes.  Loading distinguishes two
+corruption shapes:
+
+* **torn tail** — the *last* record of the file is partial, fails its
+  checksum or does not parse.  That is the signature of a crash during
+  an append; the salvage policy truncates the torn record and the log
+  reopens with every durable record intact (``FileWAL.salvaged``
+  reports what was dropped).
+* **mid-log corruption** — a damaged record *followed by intact
+  records* cannot be a torn append; loading raises a typed
+  :class:`~repro.errors.LogCorruptionError` carrying the LSN and byte
+  offset of the damage.
+
+Legacy v1 lines (bare JSON without a checksum prefix) are still read.
+
+Checkpoints
+-----------
+
+``checkpoint(state)`` appends a ``{"type": "checkpoint", "state": …}``
+record and then *compacts* the log: records preceding the checkpoint
+are dropped (the checkpoint's state subsumes them), so replay cost
+after a crash is bounded by the distance to the last checkpoint rather
+than the total history length.  LSNs keep increasing monotonically
+across compactions; :meth:`truncate` is the full reset (empty log,
+LSNs restart at zero).
 """
 
 from __future__ import annotations
 
 import json
 import os
-from typing import Dict, Iterable, Iterator, List, Optional
+import zlib
+from typing import Dict, Iterator, List, Optional
 
 from repro.errors import LogCorruptionError
 
-__all__ = ["WriteAheadLog", "InMemoryWAL", "FileWAL"]
+__all__ = ["WriteAheadLog", "InMemoryWAL", "FileWAL", "CHECKPOINT"]
+
+#: Record type of checkpoint records (shared with recovery's analysis).
+CHECKPOINT = "checkpoint"
+
+
+def _encode(record: Dict[str, object]) -> str:
+    """Canonical v2 line for a record (without the trailing newline)."""
+    payload = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    crc = zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF
+    return f"{crc:08x} {payload}"
 
 
 class WriteAheadLog:
@@ -38,8 +82,34 @@ class WriteAheadLog:
         raise NotImplementedError
 
     def records(self) -> List[Dict[str, object]]:
-        """All records in append order (each includes its ``lsn``)."""
+        """All retained records in append order (each includes its ``lsn``)."""
         raise NotImplementedError
+
+    def checkpoint(self, state: Dict[str, object]) -> int:
+        """Append a checkpoint record and compact the log up to it.
+
+        ``state`` is the serialized WAL scan state (see
+        :meth:`repro.subsystems.recovery.WalScanState.to_dict`); records
+        before the checkpoint are discarded.  Returns the checkpoint's
+        LSN.
+        """
+        raise NotImplementedError
+
+    def truncate(self) -> None:
+        """Discard all records and restart LSNs at zero."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any resources (no-op for in-memory logs)."""
+
+    def sync(self) -> None:
+        """Force durability of all appended records (no-op in memory)."""
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def __iter__(self) -> Iterator[Dict[str, object]]:
         return iter(self.records())
@@ -53,9 +123,11 @@ class InMemoryWAL(WriteAheadLog):
 
     def __init__(self) -> None:
         self._records: List[Dict[str, object]] = []
+        self._next_lsn = 0
 
     def append(self, record: Dict[str, object]) -> int:
-        lsn = len(self._records)
+        lsn = self._next_lsn
+        self._next_lsn += 1
         stamped = dict(record)
         stamped["lsn"] = lsn
         self._records.append(stamped)
@@ -63,48 +135,238 @@ class InMemoryWAL(WriteAheadLog):
 
     def records(self) -> List[Dict[str, object]]:
         return list(self._records)
+
+    def checkpoint(self, state: Dict[str, object]) -> int:
+        lsn = self.append({"type": CHECKPOINT, "state": state})
+        # Compact: the checkpoint subsumes everything before it.
+        self._records = [self._records[-1]]
+        return lsn
 
     def truncate(self) -> None:
         """Discard all records (checkpointing support)."""
         self._records.clear()
+        self._next_lsn = 0
 
 
 class FileWAL(WriteAheadLog):
-    """JSON-lines log on disk, re-openable across real process restarts."""
+    """Checksummed JSON-lines log on disk, re-openable across restarts.
 
-    def __init__(self, path: str) -> None:
+    The file handle is opened once and held for the WAL's lifetime
+    (:meth:`close` releases it; appending after close reopens).  The
+    flush policy decides when appended records become durable:
+
+    * ``flush="always"`` (default) — flush to the OS after every append
+      (a crash of *this process* loses nothing);
+    * ``flush="never"`` — buffered until :meth:`sync`/:meth:`close`
+      (fastest, a crash may tear the buffered tail — which the salvage
+      policy then repairs on reopen).
+
+    ``fsync=True`` additionally fsyncs after every append (survives an
+    OS crash, at real I/O cost).  ``salvage=False`` disables torn-tail
+    truncation and turns any tail damage into a
+    :class:`~repro.errors.LogCorruptionError`.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        flush: str = "always",
+        fsync: bool = False,
+        salvage: bool = True,
+    ) -> None:
+        if flush not in ("always", "never"):
+            raise ValueError(f"flush must be 'always' or 'never', got {flush!r}")
         self.path = path
+        self.flush = flush
+        self.fsync = fsync
+        #: Details of the torn-tail truncation performed on load, if
+        #: any: ``{"offset": int, "dropped_bytes": int, "reason": str}``.
+        self.salvaged: Optional[Dict[str, object]] = None
         self._records: List[Dict[str, object]] = []
+        self._next_lsn = 0
+        self._handle = None
         if os.path.exists(path):
-            self._load()
+            self._load(salvage=salvage)
 
-    def _load(self) -> None:
-        with open(self.path, "r", encoding="utf-8") as handle:
-            for line_number, line in enumerate(handle):
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError as error:
-                    raise LogCorruptionError(
-                        f"{self.path}:{line_number + 1}: {error}"
-                    ) from error
-                if not isinstance(record, dict) or "type" not in record:
-                    raise LogCorruptionError(
-                        f"{self.path}:{line_number + 1}: record without type"
-                    )
-                self._records.append(record)
+    # -- loading -----------------------------------------------------------
+
+    def _load(self, salvage: bool) -> None:
+        with open(self.path, "rb") as handle:
+            raw = handle.read()
+        offset = 0
+        lines: List[tuple] = []  # (byte offset, line bytes)
+        while offset < len(raw):
+            newline = raw.find(b"\n", offset)
+            if newline == -1:
+                lines.append((offset, raw[offset:]))
+                break
+            lines.append((offset, raw[offset:newline]))
+            offset = newline + 1
+        content = [(off, line) for off, line in lines if line.strip()]
+        for index, (off, line) in enumerate(content):
+            is_tail = index == len(content) - 1
+            try:
+                record = self._parse_line(line, off)
+            except LogCorruptionError as error:
+                if is_tail and salvage:
+                    self._salvage(off, len(raw) - off, str(error))
+                    return
+                raise
+            # A checksum-valid tail record merely missing its newline is
+            # kept; _open() restores the newline before the next append.
+            self._records.append(record)
+        self._next_lsn = self._infer_next_lsn()
+
+    def _parse_line(self, line: bytes, offset: int) -> Dict[str, object]:
+        lsn = self._infer_next_lsn()
+        try:
+            text = line.decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise LogCorruptionError(
+                f"{self.path}: undecodable bytes at offset {offset} "
+                f"(lsn {lsn}): {error}",
+                lsn=lsn,
+                offset=offset,
+            ) from error
+        if len(text) > 9 and text[8] == " " and _is_hex8(text[:8]):
+            payload = text[9:]
+            expected = int(text[:8], 16)
+            actual = zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF
+            if actual != expected:
+                raise LogCorruptionError(
+                    f"{self.path}: checksum mismatch at offset {offset} "
+                    f"(lsn {lsn}): recorded {expected:08x}, "
+                    f"computed {actual:08x}",
+                    lsn=lsn,
+                    offset=offset,
+                )
+        else:
+            # Legacy v1 line: bare JSON without a checksum prefix.
+            payload = text
+        try:
+            record = json.loads(payload)
+        except json.JSONDecodeError as error:
+            raise LogCorruptionError(
+                f"{self.path}: unparsable record at offset {offset} "
+                f"(lsn {lsn}): {error}",
+                lsn=lsn,
+                offset=offset,
+            ) from error
+        if not isinstance(record, dict) or "type" not in record:
+            raise LogCorruptionError(
+                f"{self.path}: record without type at offset {offset} "
+                f"(lsn {lsn})",
+                lsn=lsn,
+                offset=offset,
+            )
+        return record
+
+    def _infer_next_lsn(self) -> int:
+        # LSNs are monotone, so the last record decides; hand-written
+        # legacy records without an ``lsn`` fall back to the count.
+        if self._records:
+            last = self._records[-1].get("lsn")
+            if isinstance(last, int):
+                return last + 1
+        return len(self._records)
+
+    def _salvage(self, offset: int, dropped: int, reason: str) -> None:
+        with open(self.path, "r+b") as handle:
+            handle.truncate(offset)
+        self.salvaged = {
+            "offset": offset,
+            "dropped_bytes": dropped,
+            "reason": reason,
+        }
+        self._next_lsn = self._infer_next_lsn()
+
+    # -- the persistent handle ---------------------------------------------
+
+    def _open(self):
+        if self._handle is None:
+            # Repair a missing trailing newline before appending, so a
+            # record accepted off a newline-less tail never merges with
+            # the next append.
+            if os.path.exists(self.path):
+                with open(self.path, "rb") as probe:
+                    probe.seek(0, os.SEEK_END)
+                    size = probe.tell()
+                    if size:
+                        probe.seek(size - 1)
+                        needs_newline = probe.read(1) != b"\n"
+                    else:
+                        needs_newline = False
+                if needs_newline:
+                    with open(self.path, "ab") as repair:
+                        repair.write(b"\n")
+            self._handle = open(self.path, "a", encoding="utf-8")
+        return self._handle
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+            self._handle.close()
+            self._handle = None
+
+    def sync(self) -> None:
+        handle = self._open()
+        handle.flush()
+        os.fsync(handle.fileno())
+
+    # -- appending ----------------------------------------------------------
 
     def append(self, record: Dict[str, object]) -> int:
-        lsn = len(self._records)
+        lsn = self._next_lsn
+        self._next_lsn += 1
         stamped = dict(record)
         stamped["lsn"] = lsn
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(json.dumps(stamped, sort_keys=True))
-            handle.write("\n")
+        handle = self._open()
+        handle.write(_encode(stamped))
+        handle.write("\n")
+        if self.flush == "always":
+            handle.flush()
+        if self.fsync:
+            handle.flush()
+            os.fsync(handle.fileno())
         self._records.append(stamped)
         return lsn
 
     def records(self) -> List[Dict[str, object]]:
         return list(self._records)
+
+    # -- checkpointing -------------------------------------------------------
+
+    def checkpoint(self, state: Dict[str, object]) -> int:
+        lsn = self.append({"type": CHECKPOINT, "state": state})
+        self._records = [self._records[-1]]
+        self._rewrite()
+        return lsn
+
+    def truncate(self) -> None:
+        """Empty the log on disk; a reopened truncated log has no records."""
+        self._records = []
+        self._next_lsn = 0
+        self._rewrite()
+
+    def _rewrite(self) -> None:
+        """Atomically replace the file with the retained records."""
+        self.close()
+        tmp_path = f"{self.path}.compact"
+        with open(tmp_path, "w", encoding="utf-8") as tmp:
+            for record in self._records:
+                tmp.write(_encode(record))
+                tmp.write("\n")
+            tmp.flush()
+            os.fsync(tmp.fileno())
+        os.replace(tmp_path, self.path)
+        self._open()
+
+
+def _is_hex8(text: str) -> bool:
+    if len(text) != 8:
+        return False
+    try:
+        int(text, 16)
+    except ValueError:
+        return False
+    return True

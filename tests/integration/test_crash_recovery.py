@@ -115,6 +115,63 @@ class TestWalAnalysis:
         assert second.scheduler.all_terminated()
 
 
+class TestRestartableRecovery:
+    """A crash *during* recovery resumes idempotently (WAL v2)."""
+
+    def _crash_recovery_after(self, rounds, appends):
+        from repro.sim.crashpoints import CrashingWAL, SimulatedCrash
+
+        wal, registry = crash_after(rounds)
+        try:
+            recover(
+                CrashingWAL(wal, crash_after_appends=appends),
+                registry,
+                PROCESSES,
+                conflicts=paper_conflicts(),
+            )
+        except SimulatedCrash:
+            pass
+        return wal, registry
+
+    @pytest.mark.parametrize("appends", [1, 2, 3, 5])
+    def test_resumed_recovery_terminates_everything(self, appends):
+        wal, registry = self._crash_recovery_after(3, appends)
+        report = recover(wal, registry, PROCESSES, conflicts=paper_conflicts())
+        assert report.scheduler.all_terminated()
+        assert analyze_wal(wal).active == []
+        assert registry.prepared_transactions() == []
+
+    def test_resumed_recovery_is_flagged(self):
+        wal, registry = self._crash_recovery_after(3, 1)
+        analysis = analyze_wal(wal)
+        assert analysis.recovery_pending  # begin logged, no end
+        report = recover(wal, registry, PROCESSES, conflicts=paper_conflicts())
+        assert report.resumed
+
+    def test_no_double_compensation_across_recovery_crash(self):
+        """Compensations logged by the crashed recovery replay as
+        history — the resumed recovery never re-executes them."""
+        from repro.subsystems.recovery import replay_history
+
+        wal, registry = self._crash_recovery_after(3, 4)
+        recover(wal, registry, PROCESSES, conflicts=paper_conflicts())
+        combined = replay_history(wal, PROCESSES, paper_conflicts())
+        compensations = [
+            str(event) for event in combined.events if "^-1" in str(event)
+        ]
+        assert len(compensations) == len(set(compensations))
+        assert is_prefix_reducible(combined)
+
+    def test_completed_recovery_leaves_nothing_to_resume(self):
+        wal, registry = crash_after(3)
+        recover(wal, registry, PROCESSES, conflicts=paper_conflicts())
+        assert analyze_wal(wal).recovery_pending == []
+        length = len(wal)
+        again = recover(wal, registry, PROCESSES, conflicts=paper_conflicts())
+        assert again.noop
+        assert len(wal) == length
+
+
 class TestStateConsistency:
     def test_stores_effect_free_for_backward_recovered(self):
         """After recovery, a fully backward-recovered run leaves the

@@ -94,8 +94,51 @@ class TestRecoverValidation:
         assert report.analysis.started == ["P1", "P2"]
         assert report.history.is_legal()
 
-    def test_recovery_logs_group_abort_record(self):
+    def test_recovery_brackets_itself_in_the_log(self):
         wal, scheduler = logged_run(rounds=2)
+        scheduler.crash()
+        report = recover(
+            wal,
+            scheduler.registry,
+            {"P1": process_p1(), "P2": process_p2()},
+            conflicts=paper_conflicts(),
+        )
+        kinds = [record["type"] for record in wal.records()]
+        assert "recovery_begin" in kinds
+        assert "recovery_end" in kinds
+        assert kinds.index("recovery_begin") < kinds.index("recovery_end")
+        begin = next(
+            record
+            for record in wal.records()
+            if record["type"] == "recovery_begin"
+        )
+        assert begin["processes"] == list(report.group_aborted)
+        assert begin["attempt"] == 1
+        assert begin["resumed"] is False
+
+    def test_recover_twice_is_a_noop(self):
+        wal, scheduler = logged_run(rounds=2)
+        scheduler.crash()
+        repository = {"P1": process_p1(), "P2": process_p2()}
+        first = recover(
+            wal, scheduler.registry, repository, conflicts=paper_conflicts()
+        )
+        length_after_first = len(wal)
+        second = recover(
+            wal, first.scheduler.registry, repository,
+            conflicts=paper_conflicts(),
+        )
+        assert second.noop
+        assert second.group_aborted == ()
+        assert len(wal) == length_after_first
+
+    def test_recovery_replay_does_not_duplicate_log(self):
+        wal, scheduler = logged_run(rounds=2)
+        pre_crash = [
+            record
+            for record in wal.records()
+            if record["type"] in ("process_submit", "activity_commit")
+        ]
         scheduler.crash()
         recover(
             wal,
@@ -103,5 +146,75 @@ class TestRecoverValidation:
             {"P1": process_p1(), "P2": process_p2()},
             conflicts=paper_conflicts(),
         )
+        replayed = [
+            record
+            for record in wal.records()
+            if record["type"] in ("process_submit", "activity_commit")
+            and record["lsn"] <= pre_crash[-1]["lsn"]
+        ]
+        assert replayed == pre_crash
+
+
+class TestCheckpointing:
+    def test_scan_resumes_from_checkpoint(self):
+        from repro.subsystems.recovery import scan_wal
+
+        wal, scheduler = logged_run(rounds=2)
+        full = analyze_wal(wal)
+        scheduler.checkpoint()
+        scheduler.crash()
+        resumed = analyze_wal(wal)
+        assert resumed.started == full.started
+        assert resumed.committed == full.committed
+        assert resumed.events == full.events
+        assert scan_wal(wal).records_scanned < len(full.started) + len(
+            full.events
+        ) + 1
+
+    def test_auto_checkpoint_bounds_log_length(self):
+        from repro.subsystems.wal import CHECKPOINT
+
+        wal = InMemoryWAL()
+        scheduler = TransactionalProcessScheduler(
+            conflicts=paper_conflicts(), wal=wal, checkpoint_interval=4
+        )
+        scheduler.submit(process_p1())
+        scheduler.submit(process_p2())
+        scheduler.run()
         kinds = [record["type"] for record in wal.records()]
-        assert "recovery_group_abort" in kinds
+        assert CHECKPOINT in kinds
+        # Compaction keeps the retained log near the interval: the
+        # checkpoint record plus at most interval-1 scheduler appends
+        # plus directly-logged 2PC records in between.
+        assert len(wal) < 4 + 8
+
+    def test_recovery_after_checkpoint_still_terminates_all(self):
+        wal, scheduler = logged_run(rounds=2)
+        scheduler.checkpoint()
+        scheduler.crash()
+        report = recover(
+            wal,
+            scheduler.registry,
+            {"P1": process_p1(), "P2": process_p2()},
+            conflicts=paper_conflicts(),
+        )
+        final = analyze_wal(wal)
+        assert final.active == []
+        assert report.history.is_legal()
+
+    def test_checkpoint_interval_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TransactionalProcessScheduler(checkpoint_interval=0)
+
+    def test_scan_state_roundtrips(self):
+        from repro.subsystems.recovery import scan_wal, WalScanState
+
+        wal, scheduler = logged_run(rounds=2)
+        state = scan_wal(wal)
+        clone = WalScanState.from_dict(state.to_dict())
+        assert clone.started == state.started
+        assert clone.committed == state.committed
+        assert clone.timeline == state.timeline
+        assert clone.rolled_back == state.rolled_back
+        assert clone.txn_groups == state.txn_groups
+        assert clone.decided_groups == state.decided_groups

@@ -1,9 +1,12 @@
 """Unit tests for write-ahead logs."""
 
+import json
+import os
+
 import pytest
 
 from repro.errors import LogCorruptionError
-from repro.subsystems.wal import FileWAL, InMemoryWAL
+from repro.subsystems.wal import CHECKPOINT, FileWAL, InMemoryWAL, _encode
 
 
 class TestInMemoryWAL:
@@ -32,11 +35,34 @@ class TestInMemoryWAL:
         wal.truncate()
         assert len(wal) == 0
 
+    def test_truncate_restarts_lsns(self):
+        wal = InMemoryWAL()
+        wal.append({"type": "a"})
+        wal.truncate()
+        assert wal.append({"type": "b"}) == 0
+
     def test_append_does_not_mutate_input(self):
         wal = InMemoryWAL()
         record = {"type": "a"}
         wal.append(record)
         assert "lsn" not in record
+
+    def test_checkpoint_compacts(self):
+        wal = InMemoryWAL()
+        for index in range(5):
+            wal.append({"type": "a", "index": index})
+        lsn = wal.checkpoint({"snapshot": True})
+        assert lsn == 5
+        records = wal.records()
+        assert len(records) == 1
+        assert records[0]["type"] == CHECKPOINT
+        assert records[0]["state"] == {"snapshot": True}
+
+    def test_lsns_monotone_across_checkpoint(self):
+        wal = InMemoryWAL()
+        wal.append({"type": "a"})
+        wal.checkpoint({})
+        assert wal.append({"type": "b"}) == 2
 
 
 class TestFileWAL:
@@ -45,6 +71,7 @@ class TestFileWAL:
         wal = FileWAL(path)
         wal.append({"type": "a", "value": 1})
         wal.append({"type": "b"})
+        wal.close()
         reopened = FileWAL(path)
         assert [record["type"] for record in reopened.records()] == ["a", "b"]
         assert reopened.records()[0]["value"] == 1
@@ -59,20 +86,221 @@ class TestFileWAL:
         wal = FileWAL(str(tmp_path / "absent.jsonl"))
         assert len(wal) == 0
 
-    def test_corrupt_json_detected(self, tmp_path):
-        path = tmp_path / "bad.jsonl"
-        path.write_text('{"type": "ok"}\nnot-json\n')
-        with pytest.raises(LogCorruptionError):
-            FileWAL(str(path))
-
-    def test_record_without_type_detected(self, tmp_path):
-        path = tmp_path / "bad2.jsonl"
-        path.write_text('{"no_type": 1}\n')
-        with pytest.raises(LogCorruptionError):
-            FileWAL(str(path))
+    def test_legacy_v1_lines_still_read(self, tmp_path):
+        path = tmp_path / "legacy.jsonl"
+        path.write_text('{"type": "a", "lsn": 0}\n{"type": "b", "lsn": 1}\n')
+        wal = FileWAL(str(path))
+        assert [record["type"] for record in wal.records()] == ["a", "b"]
+        assert wal.append({"type": "c"}) == 2
 
     def test_blank_lines_ignored(self, tmp_path):
         path = tmp_path / "gaps.jsonl"
         path.write_text('{"type": "a"}\n\n{"type": "b"}\n')
         wal = FileWAL(str(path))
         assert len(wal) == 2
+
+    def test_appends_are_checksummed(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        wal = FileWAL(str(path))
+        wal.append({"type": "a"})
+        wal.close()
+        line = path.read_text().strip()
+        prefix, payload = line.split(" ", 1)
+        assert len(prefix) == 8
+        int(prefix, 16)  # valid hex
+        assert json.loads(payload)["type"] == "a"
+
+    # -- torn tail vs mid-log corruption ---------------------------------
+
+    def test_torn_tail_is_salvaged(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        wal = FileWAL(str(path))
+        wal.append({"type": "a"})
+        wal.append({"type": "b"})
+        wal.close()
+        # Tear the last record mid-payload, as a crash mid-append would.
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - 7])
+        reopened = FileWAL(str(path))
+        assert [record["type"] for record in reopened.records()] == ["a"]
+        assert reopened.salvaged is not None
+        assert reopened.salvaged["dropped_bytes"] > 0
+        # The file itself was repaired: a further reopen is clean.
+        reopened.close()
+        again = FileWAL(str(path))
+        assert [record["type"] for record in again.records()] == ["a"]
+        assert again.salvaged is None
+
+    def test_append_after_salvage_continues_lsn(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        wal = FileWAL(str(path))
+        wal.append({"type": "a"})
+        wal.append({"type": "b"})
+        wal.close()
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - 7])
+        reopened = FileWAL(str(path))
+        assert reopened.append({"type": "c"}) == 1
+
+    def test_salvage_disabled_raises_on_torn_tail(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        wal = FileWAL(str(path))
+        wal.append({"type": "a"})
+        wal.close()
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - 5])
+        with pytest.raises(LogCorruptionError):
+            FileWAL(str(path), salvage=False)
+
+    def test_mid_log_corruption_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('not-json\n{"type": "ok"}\n')
+        with pytest.raises(LogCorruptionError):
+            FileWAL(str(path))
+
+    def test_mid_log_bit_flip_raises(self, tmp_path):
+        path = tmp_path / "flip.jsonl"
+        wal = FileWAL(str(path))
+        wal.append({"type": "a", "value": 123})
+        wal.append({"type": "b"})
+        wal.close()
+        raw = bytearray(path.read_bytes())
+        # Flip one bit inside the FIRST record's payload.
+        raw[20] ^= 0x01
+        path.write_bytes(bytes(raw))
+        with pytest.raises(LogCorruptionError):
+            FileWAL(str(path))
+
+    def test_checksum_mismatch_reports_lsn_and_offset(self, tmp_path):
+        path = tmp_path / "flip.jsonl"
+        wal = FileWAL(str(path))
+        wal.append({"type": "a"})
+        wal.append({"type": "b", "value": 42})
+        wal.close()
+        raw = path.read_bytes()
+        first_line_len = raw.index(b"\n") + 1
+        corrupted = bytearray(raw)
+        corrupted[first_line_len + 20] ^= 0x01  # second record's payload
+        path.write_bytes(bytes(corrupted))
+        with pytest.raises(LogCorruptionError) as excinfo:
+            FileWAL(str(path), salvage=False)
+        error = excinfo.value
+        assert error.lsn == 1
+        assert error.offset == first_line_len
+        assert "checksum mismatch" in str(error)
+        assert f"offset {first_line_len}" in str(error)
+
+    def test_tail_without_type_salvaged(self, tmp_path):
+        path = tmp_path / "bad2.jsonl"
+        line = _encode({"no_type": 1})
+        path.write_text(f"{line}\n")
+        wal = FileWAL(str(path))
+        assert len(wal) == 0
+        assert wal.salvaged is not None
+
+    def test_mid_log_record_without_type_raises(self, tmp_path):
+        path = tmp_path / "bad3.jsonl"
+        bad = _encode({"no_type": 1})
+        good = _encode({"type": "ok", "lsn": 1})
+        path.write_text(f"{bad}\n{good}\n")
+        with pytest.raises(LogCorruptionError):
+            FileWAL(str(path))
+
+    # -- persistent handle / flush policy --------------------------------
+
+    def test_handle_held_across_appends(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        wal = FileWAL(path)
+        wal.append({"type": "a"})
+        handle = wal._handle
+        assert handle is not None
+        wal.append({"type": "b"})
+        assert wal._handle is handle
+        wal.close()
+        assert wal._handle is None
+
+    def test_append_after_close_reopens(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        wal = FileWAL(path)
+        wal.append({"type": "a"})
+        wal.close()
+        wal.append({"type": "b"})
+        wal.close()
+        assert len(FileWAL(path)) == 2
+
+    def test_context_manager_closes(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        with FileWAL(path) as wal:
+            wal.append({"type": "a"})
+        assert wal._handle is None
+
+    def test_flush_never_defers_durability(self, tmp_path):
+        path = tmp_path / "buffered.jsonl"
+        wal = FileWAL(str(path), flush="never")
+        wal.append({"type": "a"})
+        # Small record, still sitting in the userspace buffer.
+        assert path.read_bytes() == b""
+        wal.sync()
+        assert b'"type":"a"' in path.read_bytes()
+        wal.close()
+
+    def test_invalid_flush_policy_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            FileWAL(str(tmp_path / "wal.jsonl"), flush="sometimes")
+
+    def test_fsync_policy_appends(self, tmp_path):
+        path = tmp_path / "synced.jsonl"
+        wal = FileWAL(str(path), fsync=True)
+        wal.append({"type": "a"})
+        assert b'"type":"a"' in path.read_bytes()
+        wal.close()
+
+    # -- truncate / checkpoint -------------------------------------------
+
+    def test_truncate_then_reopen_is_empty(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        wal = FileWAL(path)
+        wal.append({"type": "a"})
+        wal.append({"type": "b"})
+        wal.truncate()
+        wal.close()
+        reopened = FileWAL(path)
+        assert len(reopened) == 0
+        assert reopened.append({"type": "c"}) == 0
+
+    def test_checkpoint_compacts_file(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        wal = FileWAL(str(path))
+        for index in range(10):
+            wal.append({"type": "a", "index": index})
+        wal.checkpoint({"snapshot": 1})
+        wal.close()
+        lines = [
+            line for line in path.read_text().splitlines() if line.strip()
+        ]
+        assert len(lines) == 1
+        reopened = FileWAL(str(path))
+        records = reopened.records()
+        assert len(records) == 1
+        assert records[0]["type"] == CHECKPOINT
+        assert records[0]["lsn"] == 10
+        assert reopened.append({"type": "b"}) == 11
+
+    def test_checkpoint_file_survives_reopen_lsn(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        wal = FileWAL(path)
+        for _ in range(3):
+            wal.append({"type": "a"})
+        wal.checkpoint({})
+        wal.append({"type": "b"})
+        wal.close()
+        reopened = FileWAL(path)
+        assert reopened.append({"type": "c"}) == 5
+
+    def test_compaction_leaves_no_tmp_file(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        wal = FileWAL(str(path))
+        wal.append({"type": "a"})
+        wal.checkpoint({})
+        wal.close()
+        assert not os.path.exists(str(path) + ".compact")
