@@ -39,6 +39,13 @@ Commands
     inject torn-tail/bit-flip faults into an on-disk log, re-run
     restart recovery and certify every combined history with the
     offline PRED/RED/termination checkers.
+
+``overload``
+    Open-loop overload sweep: Poisson arrivals from below to far past
+    the estimated capacity, through bounded admission with pivot-aware
+    shed-youngest-B-REC load shedding.  Prints the goodput/latency/
+    shed table per offered load; exits non-zero unless every run
+    certifies with zero F-REC sheds and positive goodput.
 """
 
 from __future__ import annotations
@@ -331,6 +338,59 @@ def _cmd_crashpoints(args: argparse.Namespace) -> int:
     return 0 if certified else 1
 
 
+def _cmd_overload(args: argparse.Namespace) -> int:
+    from repro.sim.overload import (
+        OverloadSpec,
+        estimate_capacity,
+        overload_sweep,
+    )
+
+    base = OverloadSpec(
+        workload=WorkloadSpec(
+            processes=args.processes,
+            service_pool=16,
+            conflict_rate=args.conflicts,
+        ),
+        max_active=args.max_active,
+        max_queue_depth=args.queue_depth,
+        max_queue_age=args.queue_age,
+        shed_policy=args.shed_policy,
+    )
+    if args.loads:
+        loads = args.loads
+        capacity = None
+    else:
+        capacity = estimate_capacity(base)
+        loads = [capacity * factor for factor in (0.5, 1.0, 2.0, 4.0)]
+    try:
+        results = overload_sweep(
+            loads, base=base, seeds=args.seeds, certify=not args.no_certify
+        )
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    title = "overload sweep"
+    if capacity is not None:
+        title += f" (capacity ~ {capacity:.3f} proc/t)"
+    print(format_table([result.row() for result in results], title=title))
+    certified = sum(1 for result in results if result.certified)
+    frec_sheds = sum(result.frec_sheds for result in results)
+    productive = sum(
+        1 for result in results if result.metrics.processes_committed > 0
+    )
+    print(
+        f"\n{certified}/{len(results)} runs certified "
+        f"(PRED + reducible + terminated); {frec_sheds} F-REC sheds "
+        f"(must be 0); {productive}/{len(results)} runs committed work"
+    )
+    healthy = (
+        certified == len(results)
+        and frec_sheds == 0
+        and productive == len(results)
+    )
+    return 0 if healthy else 1
+
+
 def _cmd_dot(args: argparse.Namespace) -> int:
     with open(args.file, "r", encoding="utf-8") as handle:
         payload = json.load(handle)
@@ -513,6 +573,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the torn-tail / bit-flip FileWAL torture",
     )
     crashpoints.set_defaults(handler=_cmd_crashpoints)
+
+    overload = commands.add_parser(
+        "overload",
+        help="open-loop overload sweep through bounded admission",
+    )
+    overload.add_argument("--processes", type=int, default=24)
+    overload.add_argument("--conflicts", type=float, default=0.03)
+    overload.add_argument(
+        "--loads",
+        type=float,
+        nargs="+",
+        default=None,
+        help=(
+            "offered loads (proc/t); default sweeps 0.5x-4x the "
+            "estimated capacity"
+        ),
+    )
+    overload.add_argument("--seeds", type=int, nargs="+", default=[0])
+    overload.add_argument(
+        "--max-active",
+        type=int,
+        default=4,
+        help="concurrent admitted processes (admission bound)",
+    )
+    overload.add_argument(
+        "--queue-depth",
+        type=int,
+        default=8,
+        help="admission queue depth bound",
+    )
+    overload.add_argument(
+        "--queue-age",
+        type=float,
+        default=10.0,
+        help="evict queued offers older than this (virtual time)",
+    )
+    overload.add_argument(
+        "--shed-policy",
+        choices=["reject-new", "shed-youngest-brec"],
+        default="shed-youngest-brec",
+    )
+    overload.add_argument(
+        "--no-certify",
+        action="store_true",
+        help="report instead of raising when a run fails certification",
+    )
+    overload.set_defaults(handler=_cmd_overload)
     return parser
 
 

@@ -1,0 +1,171 @@
+"""Admission control for the transactional process scheduler.
+
+The paper's guaranteed-termination property (Definition 5) cuts both
+ways: every *admitted* process must be driven to a state in ``C(P)``,
+so once a process passes its state-determining pivot it is in ``F-REC``
+and may only move forward.  Under overload the only safe control point
+is therefore the scheduler's *front door* — and the only safe victims
+of load shedding are processes still in ``B-REC`` (no pivot committed),
+whose cancellation is pure backward recovery.  This module holds the
+pure data side of that policy:
+
+* :class:`AdmissionConfig` — bounds on concurrently active processes
+  and on the admission queue (depth, age), the shedding policy, and the
+  breaker-driven backpressure threshold;
+* :class:`WatchdogConfig` — starvation/livelock detection knobs;
+* :class:`AdmissionDecision` — the scheduler's answer to one offer;
+* :class:`QueuedArrival` — one process parked in the admission queue
+  (it has **no** scheduler state yet: no WAL record, no locks, no
+  instance — rejecting it later is free by construction).
+
+The mechanics (queueing, shedding through the group-abort path, the
+B-REC invariant, watchdog escalation) live in
+:class:`~repro.core.scheduler.TransactionalProcessScheduler`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.process import Process
+from repro.subsystems.failures import FailurePolicy
+
+__all__ = [
+    "SHED_POLICIES",
+    "AdmissionConfig",
+    "WatchdogConfig",
+    "AdmissionOutcome",
+    "AdmissionDecision",
+    "QueuedArrival",
+]
+
+
+#: Valid load-shedding policies when the admission queue overflows:
+#: ``reject-new`` turns the newest offer away; ``shed-youngest-brec``
+#: additionally cancels the youngest still-backward-recoverable active
+#: process to make room (never an F-REC one — see the scheduler's
+#: shed invariant).
+SHED_POLICIES = ("reject-new", "shed-youngest-brec")
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Bounds and policy of the scheduler's admission front door."""
+
+    #: Maximum concurrently active (non-terminal) processes; ``None``
+    #: removes the bound (the queue then never fills).
+    max_active: Optional[int] = 8
+    #: Maximum parked offers before the shed policy kicks in.
+    max_queue_depth: int = 64
+    #: Maximum virtual time an offer may wait in the queue; older
+    #: entries are rejected at the next pump (``None`` disables —
+    #: note the age check needs a clock, i.e. a resilience layer or
+    #: explicit ``now`` arguments).
+    max_queue_age: Optional[float] = None
+    #: What to do when the queue is full (see :data:`SHED_POLICIES`).
+    shed_policy: str = "reject-new"
+    #: Backpressure: when at least this fraction of known circuit
+    #: breakers is open, new offers are rejected outright — the system
+    #: is shedding load *because* downstream subsystems are failing,
+    #: and queueing more work would only deepen the outage.  ``None``
+    #: disables the signal.
+    breaker_throttle_fraction: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_active is not None and self.max_active < 1:
+            raise ValueError("max_active must be a positive int or None")
+        if self.max_queue_depth < 0:
+            raise ValueError("max_queue_depth must be >= 0")
+        if self.max_queue_age is not None and self.max_queue_age <= 0:
+            raise ValueError("max_queue_age must be positive or None")
+        if self.shed_policy not in SHED_POLICIES:
+            raise ValueError(
+                f"shed_policy must be one of {SHED_POLICIES}, "
+                f"got {self.shed_policy!r}"
+            )
+        if self.breaker_throttle_fraction is not None and not (
+            0.0 < self.breaker_throttle_fraction <= 1.0
+        ):
+            raise ValueError(
+                "breaker_throttle_fraction must be in (0, 1] or None"
+            )
+
+
+@dataclass(frozen=True)
+class WatchdogConfig:
+    """Starvation/livelock watchdog thresholds (``None`` disables one).
+
+    Rounds are scheduler dispatch rounds (one
+    :meth:`~repro.core.scheduler.TransactionalProcessScheduler.dispatch_order`
+    call); flaps are failed invocations, compensation failures and
+    ◁-degradations of a single process — the signature of a process
+    cycling through retry/branch-switch loops without converging.
+    """
+
+    #: Rounds without progress before a WAITING process is boosted to
+    #: the front of the dispatch order.
+    starvation_rounds: Optional[int] = 200
+    #: Flaps before a process is escalated to serial execution: it gets
+    #: top dispatch priority and admission pauses until it terminates,
+    #: so the offender finishes without fresh contention feeding the
+    #: loop.
+    livelock_flaps: Optional[int] = 50
+
+    def __post_init__(self) -> None:
+        if self.starvation_rounds is not None and self.starvation_rounds < 1:
+            raise ValueError("starvation_rounds must be positive or None")
+        if self.livelock_flaps is not None and self.livelock_flaps < 1:
+            raise ValueError("livelock_flaps must be positive or None")
+
+
+class AdmissionOutcome(enum.Enum):
+    """What happened to one offered process."""
+
+    ADMITTED = "admitted"
+    QUEUED = "queued"
+    REJECTED = "rejected"
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """The scheduler's answer to one :meth:`offer` call."""
+
+    outcome: AdmissionOutcome
+    #: The instance id the process runs (or will run) under; ``None``
+    #: for rejections.
+    instance_id: Optional[str]
+    reason: str = ""
+
+    @property
+    def admitted(self) -> bool:
+        return self.outcome is AdmissionOutcome.ADMITTED
+
+    @property
+    def queued(self) -> bool:
+        return self.outcome is AdmissionOutcome.QUEUED
+
+    @property
+    def rejected(self) -> bool:
+        return self.outcome is AdmissionOutcome.REJECTED
+
+
+@dataclass
+class QueuedArrival:
+    """One offer parked in the admission queue.
+
+    Deliberately carries *no* scheduler state: the process is only
+    submitted (WAL record, instance, conflict bookkeeping) when it is
+    actually admitted, so a queued offer that is later rejected leaves
+    no trace at all.
+    """
+
+    process: Process
+    failures: Optional[FailurePolicy]
+    #: Virtual time of the offer (drives the age limit).
+    offered_at: float
+    #: Instance id reserved at offer time so callers can correlate the
+    #: eventual run with their arrival records.
+    instance_id: str = ""
+    metadata: dict = field(default_factory=dict)

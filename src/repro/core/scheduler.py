@@ -64,9 +64,11 @@ from __future__ import annotations
 
 import enum
 import itertools
+from collections import deque
 from dataclasses import dataclass, field
 from typing import (
     Callable,
+    Deque,
     Dict,
     FrozenSet,
     Iterable,
@@ -79,6 +81,13 @@ from typing import (
 )
 
 from repro.core.activity import ActivityDef, ActivityId, Direction
+from repro.core.admission import (
+    AdmissionConfig,
+    AdmissionDecision,
+    AdmissionOutcome,
+    QueuedArrival,
+    WatchdogConfig,
+)
 from repro.core.conflict import ConflictRelation, NoConflicts, UnionConflicts
 from repro.core.instance import (
     Action,
@@ -224,6 +233,24 @@ class ManagedProcess:
     #: Set while the scheduler executes a requested/cascaded abort.
     abort_pending: bool = False
     abort_reason: str = ""
+    #: Virtual time the process was offered / actually admitted
+    #: (identical for direct :meth:`submit`).  Sojourn time = terminal
+    #: time − ``offered_at`` includes the admission-queue wait.
+    offered_at: float = 0.0
+    admitted_at: float = 0.0
+    #: Monotone admission order; the load shedder's notion of age
+    #: ("youngest" = highest sequence number).
+    admission_seq: int = 0
+    #: Set when the load shedder cancelled this process (its abort then
+    #: counts as shed, not as an ordinary application abort).
+    shed: bool = False
+    #: Watchdog state: last dispatch round with progress, whether the
+    #: starvation watchdog boosted it, failure/degradation flap count,
+    #: and whether the livelock watchdog escalated it to serial mode.
+    last_progress_round: int = 0
+    boosted: bool = False
+    flaps: int = 0
+    serialized: bool = False
     #: Memoised ``(trace_length, completion)`` for admission checks.
     _completion_cache: Optional[Tuple[int, object]] = None
 
@@ -269,6 +296,8 @@ class TransactionalProcessScheduler:
         interleaving: Optional[Callable[[List[str]], List[str]]] = None,
         resilience: Optional[ResilienceManager] = None,
         checkpoint_interval: Optional[int] = None,
+        admission: Optional[AdmissionConfig] = None,
+        watchdogs: Optional[WatchdogConfig] = None,
     ) -> None:
         self.registry = registry if registry is not None else SubsystemRegistry()
         self.rules = rules if rules is not None else SchedulerRules()
@@ -315,6 +344,19 @@ class TransactionalProcessScheduler:
         #: Latency-spike overhead per log position (virtual time the
         #: simulation runner adds on top of the service duration).
         self._latencies: Dict[int, float] = {}
+        #: Admission control (``None`` keeps the unbounded front door)
+        #: and the starvation/livelock watchdogs (``None`` disables).
+        self.admission = admission
+        self.watchdogs = watchdogs
+        self._admission_queue: Deque[QueuedArrival] = deque()
+        #: Instance ids reserved for queued offers (not yet submitted).
+        self._reserved_ids: Set[str] = set()
+        self._draining = False
+        #: Monotone dispatch-round counter (watchdog time base).
+        self._round = 0
+        self._admission_counter = itertools.count(1)
+        #: Instance ids the load shedder cancelled, in shed order.
+        self.shed_ids: List[str] = []
         #: Diagnostic counters surfaced by benchmarks.
         self.stats: Dict[str, int] = {
             "dispatched": 0,
@@ -325,6 +367,13 @@ class TransactionalProcessScheduler:
             "2pc_groups": 0,
             "degradations": 0,
             "retries": 0,
+            "offered": 0,
+            "admitted": 0,
+            "queued": 0,
+            "rejected": 0,
+            "shed": 0,
+            "starvation_boosts": 0,
+            "livelock_escalations": 0,
         }
 
     # ------------------------------------------------------------------
@@ -345,24 +394,42 @@ class TransactionalProcessScheduler:
         """
         if self._closed:
             raise SchedulerClosedError("scheduler has been shut down")
-        identifier = instance_id or (
-            f"{process.process_id}#{next(self._instance_ids)}"
-            if process.process_id in self._managed
-            else process.process_id
-        )
+        identifier = instance_id or self._fresh_instance_id(process)
         if identifier in self._managed:
             raise SchedulerError(f"instance id {identifier!r} already in use")
         if self._auto_provision:
             self._provision_services(process)
         process = process.renamed(identifier)
+        now = self._now()
         managed = ManagedProcess(
             instance=ProcessInstance(process, instance_id=identifier),
             failures=failures or NoFailures(),
+            offered_at=now,
+            admitted_at=now,
+            admission_seq=next(self._admission_counter),
+            last_progress_round=self._round,
         )
         self._managed[identifier] = managed
+        self._reserved_ids.discard(identifier)
         self._edges_cache = None
         self._wal({"type": "process_submit", "process": identifier})
         return identifier
+
+    def _fresh_instance_id(self, process: Process) -> str:
+        """An unused instance id for ``process`` (managed or reserved)."""
+        taken = self._managed.keys() | self._reserved_ids
+        if process.process_id not in taken:
+            return process.process_id
+        while True:
+            candidate = f"{process.process_id}#{next(self._instance_ids)}"
+            if candidate not in taken:
+                return candidate
+
+    def _now(self) -> float:
+        """Current virtual time (0 without a resilience clock)."""
+        if self.resilience is not None:
+            return self.resilience.now
+        return 0.0
 
     def _provision_services(self, process: Process) -> None:
         """Register no-op services for activities lacking a provider.
@@ -404,6 +471,368 @@ class TransactionalProcessScheduler:
             f"no subsystem for activity {definition.name!r} "
             f"(subsystem {name!r}, service {service!r})"
         )
+
+    # ------------------------------------------------------------------
+    # admission control & load shedding
+    # ------------------------------------------------------------------
+
+    def offer(
+        self,
+        process: Process,
+        failures: Optional[FailurePolicy] = None,
+        now: Optional[float] = None,
+    ) -> AdmissionDecision:
+        """The bounded front door: admit, queue or reject a process.
+
+        Without an :class:`AdmissionConfig` this is plain
+        :meth:`submit`.  With one, the offer is admitted while capacity
+        is free, parked in the bounded admission queue otherwise, and
+        rejected when the queue is full — under the
+        ``shed-youngest-brec`` policy the youngest still
+        backward-recoverable *active* process is cancelled first to
+        make room (never an F-REC one; see :meth:`shed`).
+
+        Rejections are decisions, not errors: a rejected process was
+        never submitted, so it leaves no WAL record, no locks and no
+        history — the cheap side of the paper's recovery asymmetry.
+        """
+        if self._closed:
+            raise SchedulerClosedError("scheduler has been shut down")
+        when = self._now() if now is None else now
+        self.stats["offered"] += 1
+        if self.admission is None:
+            identifier = self.submit(process, failures=failures)
+            admitted = self._managed[identifier]
+            admitted.offered_at = when
+            admitted.admitted_at = when
+            self.stats["admitted"] += 1
+            return AdmissionDecision(
+                AdmissionOutcome.ADMITTED, identifier, "unbounded admission"
+            )
+        if self._draining:
+            return self._reject(process, "draining: admission closed")
+        backpressure = self._backpressure_reason()
+        if backpressure is not None:
+            return self._reject(process, backpressure)
+        cfg = self.admission
+        if (
+            self._has_capacity()
+            and not self._admission_queue
+            and not self._admission_paused()
+        ):
+            identifier = self._admit(process, failures, when, when)
+            return AdmissionDecision(
+                AdmissionOutcome.ADMITTED, identifier, "capacity available"
+            )
+        if len(self._admission_queue) < cfg.max_queue_depth:
+            return self._enqueue(process, failures, when)
+        if cfg.shed_policy == "shed-youngest-brec":
+            victim = self._shed_victim()
+            if victim is not None:
+                self.shed(
+                    victim.process_id,
+                    reason=(
+                        f"admission queue full (depth "
+                        f"{len(self._admission_queue)}); shedding youngest "
+                        f"B-REC to make room for {process.process_id!r}"
+                    ),
+                )
+                # The freed slot goes to the *head* of the queue, not to
+                # the newcomer — shedding must not become queue jumping.
+                self.pump_admission(now=when)
+                if len(self._admission_queue) < cfg.max_queue_depth:
+                    return self._enqueue(process, failures, when)
+        return self._reject(
+            process,
+            f"admission queue full (depth {len(self._admission_queue)})",
+        )
+
+    def pump_admission(self, now: Optional[float] = None) -> List[str]:
+        """Evict over-age queue entries, then admit while capacity lasts.
+
+        Returns the instance ids admitted by this pump.  Drivers call
+        it once per dispatch round; admission counts as progress.
+        """
+        if self.admission is None:
+            return []
+        when = self._now() if now is None else now
+        cfg = self.admission
+        if cfg.max_queue_age is not None:
+            kept: Deque[QueuedArrival] = deque()
+            while self._admission_queue:
+                entry = self._admission_queue.popleft()
+                age = when - entry.offered_at
+                if age > cfg.max_queue_age:
+                    self._reject_queued(
+                        entry,
+                        f"queue age {age:.3f} exceeded {cfg.max_queue_age}",
+                    )
+                else:
+                    kept.append(entry)
+            self._admission_queue = kept
+        admitted: List[str] = []
+        if self._draining or self._admission_paused():
+            return admitted
+        while self._admission_queue and self._has_capacity():
+            entry = self._admission_queue.popleft()
+            admitted.append(
+                self._admit(
+                    entry.process,
+                    entry.failures,
+                    entry.offered_at,
+                    when,
+                    instance_id=entry.instance_id,
+                )
+            )
+        return admitted
+
+    def _admit(
+        self,
+        process: Process,
+        failures: Optional[FailurePolicy],
+        offered_at: float,
+        now: float,
+        instance_id: Optional[str] = None,
+    ) -> str:
+        identifier = self.submit(
+            process, instance_id=instance_id, failures=failures
+        )
+        managed = self._managed[identifier]
+        managed.offered_at = offered_at
+        managed.admitted_at = now
+        self.stats["admitted"] += 1
+        self._notify(
+            "admitted",
+            process=identifier,
+            waited=now - offered_at,
+        )
+        return identifier
+
+    def _enqueue(
+        self,
+        process: Process,
+        failures: Optional[FailurePolicy],
+        when: float,
+    ) -> AdmissionDecision:
+        entry = QueuedArrival(
+            process=process,
+            failures=failures,
+            offered_at=when,
+            instance_id=self._fresh_instance_id(process),
+        )
+        self._reserved_ids.add(entry.instance_id)
+        self._admission_queue.append(entry)
+        self.stats["queued"] += 1
+        self._notify(
+            "queued",
+            process=entry.instance_id,
+            depth=len(self._admission_queue),
+        )
+        return AdmissionDecision(
+            AdmissionOutcome.QUEUED,
+            entry.instance_id,
+            f"queued at depth {len(self._admission_queue)}",
+        )
+
+    def _reject(self, process: Process, reason: str) -> AdmissionDecision:
+        self.stats["rejected"] += 1
+        self._notify("rejected", process=process.process_id, reason=reason)
+        return AdmissionDecision(AdmissionOutcome.REJECTED, None, reason)
+
+    def _reject_queued(self, entry: QueuedArrival, reason: str) -> None:
+        self._reserved_ids.discard(entry.instance_id)
+        self.stats["rejected"] += 1
+        self._notify("rejected", process=entry.instance_id, reason=reason)
+
+    def shed(self, instance_id: str, reason: str = "load shed") -> None:
+        """Cancel an admitted process to relieve overload.
+
+        **Invariant (the paper's recovery asymmetry):** only a process
+        still in ``B-REC`` may be shed — its cancellation is pure
+        backward recovery through the existing abort path, so it is
+        fully compensated and the history stays PRED.  Once any pivot
+        committed the process is in ``F-REC`` and Definition 5 obliges
+        the scheduler to drive it forward to ``C(P)``; attempting to
+        shed it is a protocol bug and raises
+        :class:`~repro.errors.CorrectnessViolation`.
+        """
+        managed = self.managed(instance_id)
+        if managed.status.is_terminal:
+            raise ProcessAbortedError(instance_id, "already terminated")
+        if managed.is_hardened:
+            raise CorrectnessViolation(
+                f"refusing to shed {instance_id!r}: a pivot already "
+                f"committed (F-REC) — the process must run forward to C(P)"
+            )
+        managed.shed = True
+        self.shed_ids.append(instance_id)
+        self.stats["shed"] += 1
+        self._notify("shed", process=instance_id, reason=reason)
+        self._begin_abort(managed, reason=f"load shed: {reason}", cascade=False)
+
+    def _shed_victim(self) -> Optional[ManagedProcess]:
+        """The youngest sheddable (B-REC, *blocked*) process, if any.
+
+        Only WAITING processes are eligible: cancelling work that is
+        actively progressing would churn admission — each admitted
+        replacement is younger still and would be the next victim.
+        Shedding a blocked B-REC process instead frees its locks and
+        its capacity slot while its cancellation is still pure rollback.
+        """
+        candidates = [
+            managed
+            for managed in self._managed.values()
+            if managed.status is ManagedStatus.WAITING
+            and not managed.is_hardened
+            and not managed.abort_pending
+            and not managed.shed
+        ]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda managed: managed.admission_seq)
+
+    def drain(self) -> None:
+        """Enter quiesce mode: stop admission, finish what is in flight.
+
+        Every queued offer is rejected (it was never submitted, so
+        nothing needs compensation), subsequent offers are rejected at
+        the door, and the admitted processes run to their completion
+        ``C(P)`` through the normal scheduling loop — keep calling
+        :meth:`run` (or stepping) until :attr:`drained`.
+        """
+        if self._draining:
+            return
+        self._draining = True
+        self._notify("draining", pending=len(self._admission_queue))
+        while self._admission_queue:
+            self._reject_queued(
+                self._admission_queue.popleft(), "draining: admission closed"
+            )
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def drained(self) -> bool:
+        """Quiesced: draining was requested and all work reached C(P)."""
+        return self._draining and self.all_terminated()
+
+    def queue_depth(self) -> int:
+        """Offers currently parked in the admission queue."""
+        return len(self._admission_queue)
+
+    def _has_capacity(self) -> bool:
+        cfg = self.admission
+        if cfg is None or cfg.max_active is None:
+            return True
+        # Shed processes no longer count against capacity: their
+        # remaining work is bounded backward recovery, and the slot
+        # they held funds the admission that relieves the overload.
+        active = sum(
+            1
+            for managed in self._managed.values()
+            if not managed.status.is_terminal and not managed.shed
+        )
+        return active < cfg.max_active
+
+    def _admission_paused(self) -> bool:
+        """Livelock escalation quiesces admission until the offender
+        terminates — serial execution without starving its cascade."""
+        return any(
+            managed.serialized and not managed.status.is_terminal
+            for managed in self._managed.values()
+        )
+
+    def _backpressure_reason(self) -> Optional[str]:
+        cfg = self.admission
+        if (
+            cfg is None
+            or cfg.breaker_throttle_fraction is None
+            or self.resilience is None
+        ):
+            return None
+        board = self.resilience.breakers
+        total = len(board)
+        if total == 0:
+            return None
+        open_count = sum(1 for _ in board.open_breakers())
+        if open_count / total >= cfg.breaker_throttle_fraction:
+            return (
+                f"backpressure: {open_count}/{total} circuit breakers open"
+            )
+        return None
+
+    # ------------------------------------------------------------------
+    # starvation / livelock watchdogs
+    # ------------------------------------------------------------------
+
+    def dispatch_order(self) -> List[str]:
+        """Non-terminal instance ids in dispatch-priority order.
+
+        Advances the watchdog round: long-WAITING processes age into a
+        priority boost (starvation watchdog) and processes stuck in
+        retry/branch-switch loops escalate to serial execution
+        (livelock watchdog).  The caller's ``interleaving`` ordering is
+        preserved within each priority class, so drivers that do not
+        care about watchdogs see the familiar order.
+        """
+        self._round += 1
+        self._check_watchdogs()
+        order = self._interleaving(
+            [
+                pid
+                for pid, managed in self._managed.items()
+                if not managed.status.is_terminal
+            ]
+        )
+
+        def priority(pid: str) -> Tuple[int, int]:
+            managed = self._managed[pid]
+            return (
+                0 if managed.serialized else 1,
+                0 if managed.boosted else 1,
+            )
+
+        return sorted(order, key=priority)
+
+    def _check_watchdogs(self) -> None:
+        cfg = self.watchdogs
+        if cfg is None:
+            return
+        for managed in self._managed.values():
+            if managed.status.is_terminal:
+                continue
+            starved_for = self._round - managed.last_progress_round
+            if (
+                cfg.starvation_rounds is not None
+                and not managed.boosted
+                and starved_for > cfg.starvation_rounds
+            ):
+                managed.boosted = True
+                self.stats["starvation_boosts"] += 1
+                self._notify(
+                    "starved",
+                    process=managed.process_id,
+                    rounds=starved_for,
+                    reason=managed.waiting_reason,
+                )
+            if (
+                cfg.livelock_flaps is not None
+                and not managed.serialized
+                and managed.flaps >= cfg.livelock_flaps
+            ):
+                managed.serialized = True
+                self.stats["livelock_escalations"] += 1
+                self._notify(
+                    "livelock",
+                    process=managed.process_id,
+                    flaps=managed.flaps,
+                )
+
+    def _note_flap(self, managed: ManagedProcess) -> None:
+        """Count one failure/degradation toward livelock detection."""
+        managed.flaps += 1
 
     # ------------------------------------------------------------------
     # introspection
@@ -489,7 +918,7 @@ class TransactionalProcessScheduler:
         no abort victim can be found (a protocol bug by construction).
         """
         rounds = 0
-        while not self.all_terminated():
+        while not (self.all_terminated() and not self._admission_queue):
             rounds += 1
             if rounds > max_rounds:
                 raise SchedulerError(
@@ -502,15 +931,8 @@ class TransactionalProcessScheduler:
 
     def step_round(self) -> bool:
         """One round-robin pass; returns whether any instance progressed."""
-        progressed = False
-        order = self._interleaving(
-            [
-                pid
-                for pid, managed in self._managed.items()
-                if not managed.status.is_terminal
-            ]
-        )
-        for pid in order:
+        progressed = bool(self.pump_admission())
+        for pid in self.dispatch_order():
             managed = self._managed.get(pid)
             if managed is None or managed.status.is_terminal:
                 continue
@@ -523,6 +945,15 @@ class TransactionalProcessScheduler:
         managed = self.managed(instance_id)
         if managed.status.is_terminal:
             return False
+        progressed = self._step(managed)
+        if progressed:
+            # Progress resets the starvation watchdog for this instance.
+            managed.last_progress_round = self._round
+            managed.boosted = False
+        return progressed
+
+    def _step(self, managed: ManagedProcess) -> bool:
+        instance_id = managed.process_id
         action = managed.instance.next_action()
         if action.type is ActionType.FINISHED:
             return self._try_terminate(managed)
@@ -739,6 +1170,7 @@ class TransactionalProcessScheduler:
                     )
                     return True
             managed.instance.on_failed(action.activity)
+            self._note_flap(managed)
             self._clear_wait(managed)
             self._notify(
                 "failed",
@@ -863,6 +1295,7 @@ class TransactionalProcessScheduler:
                 )
                 self.stats["retries"] += 1
             managed.instance.on_failed(action.activity)
+            self._note_flap(managed)
             self._wal(
                 {
                     "type": "compensation_failed",
@@ -1006,6 +1439,7 @@ class TransactionalProcessScheduler:
         managed.instance.degrade(activity_name)
         self._clear_wait(managed)
         self.stats["degradations"] += 1
+        self._note_flap(managed)
         if self.resilience is not None:
             self.resilience.note_degradation(managed.process_id, service)
         self._notify(
@@ -1574,7 +2008,9 @@ class TransactionalProcessScheduler:
         ``hardened`` (a 2PC group committed), ``abort_begun`` (a process
         entered recovery, with ``cascade`` flag), ``victim`` (deadlock
         resolution chose a victim), ``terminated`` (a process reached a
-        terminal status).  Exceptions raised by listeners propagate —
+        terminal status), plus the overload-layer kinds: ``admitted``,
+        ``queued``, ``rejected``, ``shed``, ``draining``, ``starved``
+        and ``livelock``.  Exceptions raised by listeners propagate —
         instrumentation is trusted code.
         """
         self._listeners.append(listener)

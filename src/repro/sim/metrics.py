@@ -66,6 +66,19 @@ class RunMetrics:
     breaker_recoveries: int = 0
     #: Faults the chaos harness injected into the run.
     faults_injected: int = 0
+    #: Overload-layer counters (zero when admission control is off):
+    #: offers seen at the front door, offers turned away (rejected at
+    #: the door or evicted from the admission queue), admitted B-REC
+    #: processes cancelled by the load shedder, starvation-watchdog
+    #: priority boosts and livelock-watchdog escalations.
+    processes_offered: int = 0
+    processes_rejected: int = 0
+    processes_shed: int = 0
+    starvation_boosts: int = 0
+    livelock_escalations: int = 0
+    #: ``(virtual time, admission queue depth)`` samples, recorded by
+    #: the simulation runner whenever the depth changes.
+    queue_depth_series: List[tuple] = field(default_factory=list)
     #: Offline correctness grades (filled by the benchmark harness).
     serializable: Optional[bool] = None
     process_recoverable: Optional[bool] = None
@@ -83,6 +96,37 @@ class RunMetrics:
         if self.makespan <= 0:
             return 0.0
         return self.processes_committed / self.makespan
+
+    @property
+    def goodput(self) -> float:
+        """Committed processes per unit virtual time.
+
+        Identical to :attr:`throughput` in a closed system; the name
+        matters under overload, where offered load and useful completed
+        work diverge — shed and rejected processes never count.
+        """
+        return self.throughput
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of offered processes the load shedder cancelled."""
+        if self.processes_offered <= 0:
+            return 0.0
+        return self.processes_shed / self.processes_offered
+
+    @property
+    def reject_rate(self) -> float:
+        """Fraction of offered processes turned away unstarted."""
+        if self.processes_offered <= 0:
+            return 0.0
+        return self.processes_rejected / self.processes_offered
+
+    @property
+    def peak_queue_depth(self) -> int:
+        """Deepest the admission queue ever got."""
+        if not self.queue_depth_series:
+            return 0
+        return max(depth for _, depth in self.queue_depth_series)
 
     @property
     def is_correct(self) -> bool:
@@ -117,6 +161,24 @@ class RunMetrics:
             "restarts": self.restarts,
             "serializable": self.serializable,
             "proc_rec": self.process_recoverable,
+            "pred": self.prefix_reducible,
+        }
+
+    def overload_row(self) -> Dict[str, object]:
+        """Flat row of the admission/shedding counters (X10 tables)."""
+        latency = summarize(self.latencies)
+        return {
+            "scheduler": self.scheduler_name,
+            "offered": self.processes_offered,
+            "committed": self.processes_committed,
+            "aborted": self.processes_aborted,
+            "rejected": self.processes_rejected,
+            "shed": self.processes_shed,
+            "goodput": round(self.goodput, 4),
+            "latency_p95": round(latency["p95"], 3),
+            "queue_peak": self.peak_queue_depth,
+            "starved": self.starvation_boosts,
+            "livelocks": self.livelock_escalations,
             "pred": self.prefix_reducible,
         }
 

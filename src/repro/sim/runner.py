@@ -26,15 +26,23 @@ The runner drives any scheduler exposing the uniform stepping interface
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Sequence, Set
 
 from repro.core.instance import ActionType
+from repro.core.process import Process
 from repro.core.schedule import AbortEvent, ActivityEvent, CommitEvent
 from repro.errors import SchedulerError
 from repro.sim.engine import EventQueue
 from repro.sim.metrics import RunMetrics
+from repro.subsystems.failures import FailurePolicy
 
-__all__ = ["DurationModel", "constant_durations", "SimulationRunner", "simulate_run"]
+__all__ = [
+    "Arrival",
+    "DurationModel",
+    "constant_durations",
+    "SimulationRunner",
+    "simulate_run",
+]
 
 
 #: Maps a service name to its virtual duration.
@@ -44,6 +52,22 @@ DurationModel = Callable[[str], float]
 def constant_durations(duration: float = 1.0) -> DurationModel:
     """Every service takes the same virtual time."""
     return lambda service: duration
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One open-loop offer: a process arriving at a virtual time.
+
+    Unlike the ``arrivals`` dict (pre-submitted processes whose
+    *dispatch* is delayed), an :class:`Arrival` is offered to the
+    scheduler's admission front door only when its time comes — under
+    overload it may be queued or turned away, so the open-loop model
+    needs a scheduler exposing ``offer()``.
+    """
+
+    time: float
+    process: Process
+    failures: Optional[FailurePolicy] = None
 
 
 @dataclass
@@ -63,10 +87,21 @@ class SimulationRunner:
         order: str = "strong",
         max_iterations: int = 1_000_000,
         arrivals: Optional[Dict[str, float]] = None,
+        offers: Optional[Sequence[Arrival]] = None,
     ) -> None:
         if order not in ("strong", "weak"):
             raise ValueError(f"order must be 'strong' or 'weak', got {order!r}")
+        if offers and not hasattr(scheduler, "offer"):
+            raise SchedulerError(
+                "open-loop offers require a scheduler exposing offer()"
+            )
         self.scheduler = scheduler
+        #: Open-loop arrivals, offered to the scheduler when their
+        #: virtual time comes (admission may queue or reject them).
+        self.offers: List[Arrival] = sorted(
+            offers or [], key=lambda arrival: arrival.time
+        )
+        self._pending_offers = 0
         self.durations = durations or constant_durations()
         self.order = order
         self._max_iterations = max_iterations
@@ -124,14 +159,27 @@ class SimulationRunner:
         for arrival in set(self.arrivals.values()):
             if arrival > 0:
                 self.queue.schedule_at(arrival, lambda: None)
+        # Open-loop offers arrive as events on the virtual timeline.
+        for offer in self.offers:
+            self._pending_offers += 1
+            self.queue.schedule_at(offer.time, self._offer_event(offer, metrics))
 
-        while not scheduler.all_terminated():
+        pump = getattr(scheduler, "pump_admission", None)
+        order_of = getattr(scheduler, "dispatch_order", None)
+        while not self._finished():
             iterations += 1
             if iterations > self._max_iterations:
                 raise SchedulerError("simulation did not converge")
             progressed = False
             now = self.queue.clock.now
-            for pid in scheduler.instance_ids():
+            if pump is not None:
+                # Admission is progress: a pumped process gets its first
+                # dispatch chance in this very round.
+                if pump(now=now):
+                    progressed = True
+                self._sample_queue_depth(metrics)
+            order = order_of() if order_of is not None else scheduler.instance_ids()
+            for pid in order:
                 if scheduler.is_terminated(pid) or pid in self._busy:
                     continue
                 if self.arrivals.get(pid, 0.0) > now:
@@ -148,7 +196,9 @@ class SimulationRunner:
                 self._absorb_new_events(pid, before, metrics, spans_start)
             if progressed:
                 continue
-            if not self.queue.empty:
+            if self._in_flight:
+                # Activities are executing; their completion events end
+                # the wait.
                 self.queue.run_next()
                 continue
             # Nothing in flight: blocked work may just be waiting on
@@ -160,7 +210,22 @@ class SimulationRunner:
                     self.queue.schedule_at(deadline, lambda: None)
                     self.queue.run_next()
                     continue
-            # No dispatch possible and nothing in flight: logical stall.
+            # A blocked *arrived* process with nothing in flight and no
+            # clock deadline is a logical stall.  Future arrivals only
+            # add load — they never unblock existing waits — so the
+            # stall is resolved now rather than idling toward them.
+            if any(
+                not scheduler.is_terminated(pid)
+                and self.arrivals.get(pid, 0.0) <= now
+                for pid in scheduler.instance_ids()
+            ):
+                scheduler.resolve_stall()
+                continue
+            if not self.queue.empty:
+                self.queue.run_next()
+                continue
+            # Nothing arrived, nothing scheduled: the loop condition
+            # (pending offers / queued admissions) decides.
             scheduler.resolve_stall()
 
         # Drain remaining completions so the makespan covers them.
@@ -169,6 +234,40 @@ class SimulationRunner:
         metrics.makespan = self.queue.clock.now
         self._fill_stats(metrics)
         return metrics
+
+    def _finished(self) -> bool:
+        """Done only when admitted work, offers and the queue drained."""
+        return (
+            self.scheduler.all_terminated()
+            and self._pending_offers == 0
+            and self._queue_depth() == 0
+        )
+
+    def _offer_event(
+        self, offer: Arrival, metrics: RunMetrics
+    ) -> Callable[[], None]:
+        def fire() -> None:
+            self._pending_offers -= 1
+            decision = self.scheduler.offer(
+                offer.process,
+                failures=offer.failures,
+                now=self.queue.clock.now,
+            )
+            if decision.instance_id is not None and not decision.rejected:
+                self.arrivals[decision.instance_id] = offer.time
+            self._sample_queue_depth(metrics)
+
+        return fire
+
+    def _queue_depth(self) -> int:
+        depth_of = getattr(self.scheduler, "queue_depth", None)
+        return depth_of() if depth_of is not None else 0
+
+    def _sample_queue_depth(self, metrics: RunMetrics) -> None:
+        depth = self._queue_depth()
+        series = metrics.queue_depth_series
+        if not series or series[-1][1] != depth:
+            series.append((self.queue.clock.now, depth))
 
     def _absorb_new_events(
         self,
@@ -225,6 +324,13 @@ class SimulationRunner:
         )
         metrics.restarts = int(values.get("restarts", 0))
         metrics.degradations = int(values.get("degradations", 0))
+        metrics.processes_offered = int(values.get("offered", 0))
+        metrics.processes_rejected = int(values.get("rejected", 0))
+        metrics.processes_shed = int(values.get("shed", 0))
+        metrics.starvation_boosts = int(values.get("starvation_boosts", 0))
+        metrics.livelock_escalations = int(
+            values.get("livelock_escalations", 0)
+        )
         if self.resilience is not None:
             snapshot = self.resilience.snapshot()
             metrics.retries = int(snapshot.get("retries", 0))

@@ -27,7 +27,14 @@ from repro.core.flex import FlexSeq, build_process, choice, comp, pivot, retr, s
 from repro.core.process import Process
 from repro.subsystems.failures import FailurePolicy, ProbabilisticFailures
 
-__all__ = ["WorkloadSpec", "Workload", "generate_workload", "generate_process"]
+__all__ = [
+    "WorkloadSpec",
+    "Workload",
+    "generate_workload",
+    "generate_process",
+    "ArrivalSpec",
+    "generate_arrivals",
+]
 
 
 @dataclass(frozen=True)
@@ -115,6 +122,54 @@ def generate_process(
         return seq(*parts, gen_retr_suffix())
 
     return build_process(process_id, gen_structure(0))
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """Open-loop arrival model: processes arrive at a given offered load.
+
+    The closed-loop workloads above submit a fixed batch and measure
+    how fast it drains; overload cannot be expressed that way.  An
+    arrival spec turns the same processes into an *open* system: they
+    arrive over virtual time at :attr:`offered_load` processes per unit
+    time, independently of how fast the scheduler completes them — the
+    gap between offered load and capacity is what the admission layer
+    has to absorb.
+    """
+
+    #: Mean arrivals per unit of virtual time (λ).
+    offered_load: float = 1.0
+    #: ``poisson`` — exponential inter-arrival times (memoryless open
+    #: traffic); ``fixed`` — a deterministic 1/λ spacing.
+    mode: str = "poisson"
+    #: RNG seed for the Poisson draws (deterministic given the seed).
+    seed: int = 0
+    #: Virtual time of the first possible arrival.
+    start: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.offered_load <= 0:
+            raise ValueError("offered_load must be positive")
+        if self.mode not in ("poisson", "fixed"):
+            raise ValueError(
+                f"mode must be 'poisson' or 'fixed', got {self.mode!r}"
+            )
+
+
+def generate_arrivals(count: int, spec: ArrivalSpec) -> List[float]:
+    """``count`` non-decreasing arrival times under ``spec``."""
+    if count < 0:
+        raise ValueError("count must be >= 0")
+    rng = random.Random(spec.seed)
+    times: List[float] = []
+    now = spec.start
+    for _ in range(count):
+        if spec.mode == "poisson":
+            now += rng.expovariate(spec.offered_load)
+        else:
+            now += 1.0 / spec.offered_load
+        times.append(now)
+    return times
 
 
 def generate_workload(spec: WorkloadSpec) -> Workload:

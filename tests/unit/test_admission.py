@@ -1,0 +1,393 @@
+"""Unit tests for admission control, load shedding and the watchdogs."""
+
+import pytest
+
+from repro.core.admission import (
+    SHED_POLICIES,
+    AdmissionConfig,
+    AdmissionDecision,
+    AdmissionOutcome,
+    WatchdogConfig,
+)
+from repro.core.conflict import ExplicitConflicts
+from repro.core.flex import build_process, comp, pivot, retr, seq
+from repro.core.scheduler import (
+    ManagedStatus,
+    TransactionalProcessScheduler,
+)
+from repro.errors import CorrectnessViolation, ProcessAbortedError
+from repro.resilience import BreakerConfig, ResilienceManager, RetryPolicy
+
+
+def make_process(pid, service="s", pivot_service="q", tail_service="t"):
+    return build_process(
+        pid,
+        seq(
+            comp("c", service=service),
+            pivot("p", service=pivot_service),
+            retr("r", service=tail_service),
+        ),
+    )
+
+
+def victim_process(pid):
+    """Pivot-first process: defers (R1) while a conflicting activity of
+    another process is active, so it parks in WAITING and stays B-REC."""
+    return build_process(
+        pid, seq(pivot("p", service="ps"), retr("r", service="t"))
+    )
+
+
+def conflicting():
+    """Make the victims' pivot service conflict with the "s" prefix."""
+    conflicts = ExplicitConflicts()
+    conflicts.declare("s", "ps")
+    return conflicts
+
+
+def make_scheduler(admission=None, watchdogs=None, conflicts=None):
+    return TransactionalProcessScheduler(
+        conflicts=conflicts or ExplicitConflicts(),
+        admission=admission,
+        watchdogs=watchdogs,
+    )
+
+
+class TestConfigValidation:
+    def test_shed_policies_closed_set(self):
+        assert "reject-new" in SHED_POLICIES
+        assert "shed-youngest-brec" in SHED_POLICIES
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_active": 0},
+            {"max_queue_depth": -1},
+            {"max_queue_age": 0.0},
+            {"shed_policy": "drop-oldest"},
+            {"breaker_throttle_fraction": 0.0},
+            {"breaker_throttle_fraction": 1.5},
+        ],
+    )
+    def test_admission_config_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            AdmissionConfig(**kwargs)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"starvation_rounds": 0}, {"livelock_flaps": 0}],
+    )
+    def test_watchdog_config_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            WatchdogConfig(**kwargs)
+
+    def test_decision_properties(self):
+        admitted = AdmissionDecision(AdmissionOutcome.ADMITTED, "A")
+        rejected = AdmissionDecision(AdmissionOutcome.REJECTED, None, "full")
+        queued = AdmissionDecision(AdmissionOutcome.QUEUED, "B")
+        assert admitted.admitted and not admitted.rejected
+        assert rejected.rejected and not rejected.admitted
+        assert queued.queued and not queued.admitted
+
+
+class TestOfferFlow:
+    def test_no_admission_config_is_plain_submit(self):
+        scheduler = make_scheduler()
+        decision = scheduler.offer(make_process("A"))
+        assert decision.admitted
+        assert decision.instance_id == "A"
+        assert scheduler.stats["offered"] == 1
+        assert scheduler.stats["admitted"] == 1
+
+    def test_admits_while_capacity_free(self):
+        scheduler = make_scheduler(AdmissionConfig(max_active=2))
+        assert scheduler.offer(make_process("A")).admitted
+        assert scheduler.offer(make_process("B")).admitted
+
+    def test_queues_past_capacity(self):
+        scheduler = make_scheduler(
+            AdmissionConfig(max_active=1, max_queue_depth=2)
+        )
+        scheduler.offer(make_process("A"))
+        decision = scheduler.offer(make_process("B"))
+        assert decision.queued
+        assert decision.instance_id == "B"
+        assert scheduler.queue_depth() == 1
+        assert scheduler.stats["queued"] == 1
+
+    def test_queued_offer_has_no_scheduler_state(self):
+        scheduler = make_scheduler(
+            AdmissionConfig(max_active=1, max_queue_depth=2)
+        )
+        scheduler.offer(make_process("A"))
+        scheduler.offer(make_process("B"))
+        assert "B" not in scheduler.instance_ids()
+
+    def test_rejects_when_queue_full(self):
+        scheduler = make_scheduler(
+            AdmissionConfig(max_active=1, max_queue_depth=1)
+        )
+        scheduler.offer(make_process("A"))
+        scheduler.offer(make_process("B"))
+        decision = scheduler.offer(make_process("C"))
+        assert decision.rejected
+        assert decision.instance_id is None
+        assert "queue full" in decision.reason
+        assert scheduler.stats["rejected"] == 1
+
+    def test_pump_admits_fifo_when_capacity_frees(self):
+        scheduler = make_scheduler(
+            AdmissionConfig(max_active=1, max_queue_depth=4)
+        )
+        scheduler.offer(make_process("A"))
+        scheduler.offer(make_process("B"))
+        scheduler.offer(make_process("C"))
+        while not scheduler.is_terminated("A"):
+            scheduler.step("A")
+        admitted = scheduler.pump_admission()
+        assert admitted == ["B"]
+        assert scheduler.queue_depth() == 1
+
+    def test_queue_age_eviction(self):
+        scheduler = make_scheduler(
+            AdmissionConfig(max_active=1, max_queue_depth=4, max_queue_age=5.0)
+        )
+        scheduler.offer(make_process("A"), now=0.0)
+        scheduler.offer(make_process("B"), now=0.0)
+        scheduler.offer(make_process("C"), now=4.0)
+        assert scheduler.pump_admission(now=6.0) == []
+        # B aged out (6.0 > 5.0), C (age 2.0) survived.
+        assert scheduler.queue_depth() == 1
+        assert scheduler.stats["rejected"] == 1
+
+    def test_offer_event_notifications(self):
+        events = []
+        scheduler = make_scheduler(
+            AdmissionConfig(max_active=1, max_queue_depth=1)
+        )
+        scheduler.add_listener(lambda kind, info: events.append(kind))
+        scheduler.offer(make_process("A"))
+        scheduler.offer(make_process("B"))
+        scheduler.offer(make_process("C"))
+        assert events.count("admitted") == 1
+        assert events.count("queued") == 1
+        assert events.count("rejected") == 1
+
+
+class TestShedding:
+    def build_waiting_pair(self, **admission):
+        """A progressing (A) and a conflict-blocked WAITING (B) process."""
+        scheduler = make_scheduler(
+            AdmissionConfig(**admission), conflicts=conflicting()
+        )
+        assert scheduler.offer(make_process("A")).admitted
+        assert scheduler.offer(victim_process("B")).admitted
+        scheduler.step("A")  # A holds the conflicting prefix activity
+        scheduler.step("B")  # B's pivot defers on the conflict (R1)
+        assert scheduler.managed("B").status is ManagedStatus.WAITING
+        return scheduler
+
+    def test_shed_youngest_brec_picks_waiting_victim(self):
+        scheduler = self.build_waiting_pair(
+            max_active=2,
+            max_queue_depth=1,
+            shed_policy="shed-youngest-brec",
+        )
+        scheduler.offer(make_process("C"))  # fills the queue
+        decision = scheduler.offer(make_process("D"))
+        # B (youngest WAITING B-REC) was shed; the freed slot went to
+        # the queue head C, and D took the queue slot — no queue jump.
+        assert scheduler.stats["shed"] == 1
+        assert scheduler.shed_ids == ["B"]
+        assert scheduler.managed("B").shed
+        assert "C" in scheduler.instance_ids()
+        assert decision.queued and decision.instance_id == "D"
+
+    def test_shed_process_fully_aborts(self):
+        scheduler = self.build_waiting_pair(max_active=2, max_queue_depth=1)
+        scheduler.shed("B", reason="test")
+        scheduler.run()
+        assert scheduler.managed("B").status is ManagedStatus.ABORTED
+        assert scheduler.managed("A").status is ManagedStatus.COMMITTED
+
+    def test_shedding_hardened_process_is_a_correctness_violation(self):
+        scheduler = make_scheduler(
+            AdmissionConfig(max_active=2, max_queue_depth=1)
+        )
+        scheduler.offer(make_process("A"))
+        scheduler.step("A")  # c
+        scheduler.step("A")  # pivot commits -> hardened (F-REC)
+        managed = scheduler.managed("A")
+        assert managed.is_hardened
+        assert not managed.status.is_terminal
+        with pytest.raises(CorrectnessViolation):
+            scheduler.shed("A")
+        assert scheduler.stats["shed"] == 0
+
+    def test_shed_victim_never_hardened(self):
+        scheduler = self.build_waiting_pair(max_active=2, max_queue_depth=1)
+        scheduler.step("A")  # A's pivot commits -> A is F-REC
+        assert scheduler.managed("A").is_hardened
+        victim = scheduler._shed_victim()
+        assert victim is not None
+        assert victim.process_id == "B"
+
+    def test_progressing_processes_are_not_victims(self):
+        scheduler = make_scheduler(
+            AdmissionConfig(max_active=1, max_queue_depth=1)
+        )
+        scheduler.offer(make_process("A"))
+        scheduler.step("A")  # RUNNING, not WAITING
+        assert scheduler._shed_victim() is None
+        scheduler.offer(make_process("B"))  # queue
+        decision = scheduler.offer(make_process("C"))
+        assert decision.rejected  # nothing sheddable -> reject, not churn
+
+    def test_shed_terminal_process_raises(self):
+        scheduler = make_scheduler(AdmissionConfig(max_active=2))
+        scheduler.offer(make_process("A"))
+        scheduler.run()
+        with pytest.raises(ProcessAbortedError):
+            scheduler.shed("A")
+
+
+class TestDrain:
+    def test_drain_rejects_queue_and_new_offers(self):
+        scheduler = make_scheduler(
+            AdmissionConfig(max_active=1, max_queue_depth=4)
+        )
+        scheduler.offer(make_process("A"))
+        scheduler.offer(make_process("B"))
+        scheduler.drain()
+        assert scheduler.draining
+        assert scheduler.queue_depth() == 0
+        assert scheduler.stats["rejected"] == 1  # queued B evicted
+        decision = scheduler.offer(make_process("C"))
+        assert decision.rejected
+        assert "draining" in decision.reason
+
+    def test_drained_after_admitted_work_finishes(self):
+        scheduler = make_scheduler(
+            AdmissionConfig(max_active=2, max_queue_depth=4)
+        )
+        scheduler.offer(make_process("A"))
+        scheduler.drain()
+        assert not scheduler.drained
+        scheduler.run()
+        assert scheduler.drained
+        assert scheduler.managed("A").status is ManagedStatus.COMMITTED
+
+    def test_drain_is_idempotent(self):
+        scheduler = make_scheduler(AdmissionConfig(max_active=1))
+        scheduler.drain()
+        scheduler.drain()
+        assert scheduler.draining
+
+
+class TestBackpressure:
+    def make_throttled(self, fraction=0.5):
+        manager = ResilienceManager(
+            policy=RetryPolicy(timeout=2.0, max_attempts=2, base_delay=0.1),
+            breaker=BreakerConfig(failure_threshold=1, reset_timeout=50.0),
+        )
+        scheduler = TransactionalProcessScheduler(
+            conflicts=ExplicitConflicts(),
+            resilience=manager,
+            admission=AdmissionConfig(
+                max_active=4, breaker_throttle_fraction=fraction
+            ),
+        )
+        return scheduler, manager
+
+    def test_open_breakers_reject_offers(self):
+        scheduler, manager = self.make_throttled(fraction=0.5)
+        assert scheduler.offer(make_process("A")).admitted
+        manager.breakers.get("s").record_failure(0.0)  # trips (threshold 1)
+        decision = scheduler.offer(make_process("B"))
+        assert decision.rejected
+        assert "backpressure" in decision.reason
+
+    def test_below_fraction_admits(self):
+        scheduler, manager = self.make_throttled(fraction=1.0)
+        manager.breakers.get("s").record_failure(0.0)
+        manager.breakers.get("q")  # second, closed breaker: 1/2 < 1.0
+        assert scheduler.offer(make_process("B")).admitted
+
+    def test_no_breakers_no_backpressure(self):
+        scheduler, _ = self.make_throttled(fraction=0.5)
+        assert scheduler.offer(make_process("A")).admitted
+
+
+class TestWatchdogs:
+    def test_starvation_boost_prioritises_waiting_process(self):
+        scheduler = make_scheduler(
+            watchdogs=WatchdogConfig(starvation_rounds=2, livelock_flaps=None),
+            conflicts=conflicting(),
+        )
+        scheduler.submit(make_process("A"))
+        scheduler.submit(victim_process("B"))
+        scheduler.step("A")
+        scheduler.step("B")  # B's pivot defers -> WAITING
+        for _ in range(4):
+            order = scheduler.dispatch_order()
+            if not scheduler.is_terminated("A"):
+                scheduler.step("A")  # A keeps progressing; only B starves
+        assert scheduler.managed("B").boosted
+        assert scheduler.stats["starvation_boosts"] == 1
+        assert order[0] == "B"
+
+    def test_progress_clears_boost(self):
+        scheduler = make_scheduler(
+            watchdogs=WatchdogConfig(starvation_rounds=1, livelock_flaps=None)
+        )
+        scheduler.submit(make_process("A"))
+        for _ in range(3):
+            scheduler.dispatch_order()
+        assert scheduler.managed("A").boosted
+        scheduler.step("A")
+        assert not scheduler.managed("A").boosted
+
+    def test_livelock_escalates_to_serial_and_pauses_admission(self):
+        scheduler = make_scheduler(
+            admission=AdmissionConfig(max_active=4, max_queue_depth=4),
+            watchdogs=WatchdogConfig(starvation_rounds=None, livelock_flaps=3),
+        )
+        scheduler.offer(make_process("A"))
+        scheduler.offer(make_process("B"))
+        managed = scheduler.managed("A")
+        for _ in range(3):
+            scheduler._note_flap(managed)
+        order = scheduler.dispatch_order()
+        assert managed.serialized
+        assert scheduler.stats["livelock_escalations"] == 1
+        assert order[0] == "A"
+        # Admission quiesces until the offender terminates.
+        decision = scheduler.offer(make_process("C"))
+        assert decision.queued
+        assert scheduler.pump_admission() == []
+
+    def test_escalation_clears_when_offender_terminates(self):
+        scheduler = make_scheduler(
+            admission=AdmissionConfig(max_active=4, max_queue_depth=4),
+            watchdogs=WatchdogConfig(starvation_rounds=None, livelock_flaps=1),
+        )
+        scheduler.offer(make_process("A"))
+        scheduler._note_flap(scheduler.managed("A"))
+        scheduler.dispatch_order()
+        assert scheduler.managed("A").serialized
+        scheduler.offer(make_process("B"))
+        assert "B" not in scheduler.instance_ids()
+        scheduler.run()  # A terminates; run() pumps B in
+        assert scheduler.managed("B").status is ManagedStatus.COMMITTED
+
+    def test_watchdogs_disabled_by_none_thresholds(self):
+        scheduler = make_scheduler(
+            watchdogs=WatchdogConfig(
+                starvation_rounds=None, livelock_flaps=None
+            )
+        )
+        scheduler.submit(make_process("A"))
+        for _ in range(500):
+            scheduler.dispatch_order()
+        assert not scheduler.managed("A").boosted
+        assert scheduler.stats["starvation_boosts"] == 0

@@ -130,3 +130,143 @@ class TestDot:
         path = tmp_path / "junk.json"
         path.write_text('{"format": "other"}')
         assert main(["dot", str(path)]) == 2
+
+
+class _FakeChaosResult:
+    def __init__(self, certified):
+        self.certified = certified
+        self.counters = {"degradations": 0}
+
+    def row(self):
+        return {"mix": "fake", "certified": self.certified}
+
+
+class _FakeCrashSweep:
+    class _Spec:
+        seed = 0
+
+    def __init__(self, certified):
+        self.all_certified = certified
+        self.results = [object()]
+        self.file_faults = []
+        self.failures = [] if certified else ["lsn 3: history not PRED"]
+        self.spec = self._Spec()
+
+    def row(self):
+        return {"seed": 0, "certified": self.all_certified}
+
+
+class _FakeOverloadResult:
+    def __init__(self, certified, committed=1, frec_sheds=0):
+        self.certified = certified
+        self.frec_sheds = frec_sheds
+
+        class _Metrics:
+            processes_committed = committed
+
+        self.metrics = _Metrics()
+
+    def row(self):
+        return {"load": 1.0, "certified": self.certified}
+
+
+class TestChaosExitCodes:
+    def test_certified_run_exits_zero(self, capsys):
+        rc = main(["chaos", "--mix", "aborts", "--processes", "3",
+                   "--seeds", "0"])
+        assert rc == 0
+        assert "1/1 runs certified" in capsys.readouterr().out
+
+    def test_uncertified_run_exits_one(self, monkeypatch, capsys):
+        import repro.sim.chaos as chaos
+
+        monkeypatch.setattr(
+            chaos,
+            "chaos_sweep",
+            lambda **kwargs: [_FakeChaosResult(True), _FakeChaosResult(False)],
+        )
+        rc = main(["chaos", "--no-certify"])
+        assert rc == 1
+        assert "1/2 runs certified" in capsys.readouterr().out
+
+
+class TestCrashpointsExitCodes:
+    def test_certified_sweep_exits_zero(self, capsys):
+        rc = main(["crashpoints", "--processes", "2", "--seeds", "0",
+                   "--no-file-faults", "--stride", "8",
+                   "--recovery-stride", "0"])
+        assert rc == 0
+        assert "all certified" in capsys.readouterr().out
+
+    def test_uncertified_sweep_exits_one(self, monkeypatch, capsys):
+        import repro.sim.crashpoints as crashpoints
+
+        monkeypatch.setattr(
+            crashpoints,
+            "run_crashpoints",
+            lambda spec, file_faults=True: _FakeCrashSweep(False),
+        )
+        rc = main(["crashpoints", "--seeds", "0"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "CERTIFICATION FAILURES" in out
+        assert "history not PRED" in out
+
+
+class TestOverloadExitCodes:
+    def test_healthy_sweep_exits_zero(self, capsys):
+        rc = main(["overload", "--processes", "6", "--loads", "0.4",
+                   "--seeds", "0"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "0 F-REC sheds" in out
+        assert "1/1 runs committed work" in out
+
+    def test_uncertified_run_exits_one(self, monkeypatch, capsys):
+        import repro.sim.overload as overload
+
+        monkeypatch.setattr(
+            overload,
+            "overload_sweep",
+            lambda loads, base=None, seeds=(0,), certify=True: [
+                _FakeOverloadResult(False)
+            ],
+        )
+        rc = main(["overload", "--loads", "1.0", "--no-certify"])
+        assert rc == 1
+
+    def test_frec_shed_exits_one(self, monkeypatch):
+        import repro.sim.overload as overload
+
+        monkeypatch.setattr(
+            overload,
+            "overload_sweep",
+            lambda loads, base=None, seeds=(0,), certify=True: [
+                _FakeOverloadResult(True, frec_sheds=1)
+            ],
+        )
+        assert main(["overload", "--loads", "1.0"]) == 1
+
+    def test_zero_goodput_exits_one(self, monkeypatch):
+        import repro.sim.overload as overload
+
+        monkeypatch.setattr(
+            overload,
+            "overload_sweep",
+            lambda loads, base=None, seeds=(0,), certify=True: [
+                _FakeOverloadResult(True, committed=0)
+            ],
+        )
+        assert main(["overload", "--loads", "1.0"]) == 1
+
+    def test_certification_error_exits_one(self, monkeypatch, capsys):
+        import repro.sim.overload as overload
+        from repro.errors import CorrectnessViolation
+
+        def boom(loads, base=None, seeds=(0,), certify=True):
+            raise CorrectnessViolation("history not PRED")
+
+        monkeypatch.setattr(overload, "overload_sweep", boom)
+        rc = main(["overload", "--loads", "1.0"])
+        assert rc == 1
+        assert "error" in capsys.readouterr().err

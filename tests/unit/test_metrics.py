@@ -71,3 +71,40 @@ class TestRunMetrics:
         assert row["makespan"] == 2.0
         assert row["latency_mean"] == 2.0
         assert row["committed"] == 1
+
+
+class TestOverloadMetrics:
+    def make(self):
+        metrics = RunMetrics("pred", makespan=10.0, processes_committed=4)
+        metrics.processes_offered = 10
+        metrics.processes_rejected = 3
+        metrics.processes_shed = 2
+        metrics.starvation_boosts = 1
+        metrics.livelock_escalations = 1
+        metrics.queue_depth_series = [(0.0, 0), (1.0, 3), (2.0, 1)]
+        return metrics
+
+    def test_goodput_aliases_throughput(self):
+        metrics = self.make()
+        assert metrics.goodput == metrics.throughput == 0.4
+
+    def test_shed_and_reject_rates(self):
+        metrics = self.make()
+        assert metrics.shed_rate == 0.2
+        assert metrics.reject_rate == 0.3
+        assert RunMetrics("pred").shed_rate == 0.0
+        assert RunMetrics("pred").reject_rate == 0.0
+
+    def test_peak_queue_depth(self):
+        assert self.make().peak_queue_depth == 3
+        assert RunMetrics("pred").peak_queue_depth == 0
+
+    def test_overload_row_shape(self):
+        row = self.make().overload_row()
+        assert row["offered"] == 10
+        assert row["rejected"] == 3
+        assert row["shed"] == 2
+        assert row["goodput"] == 0.4
+        assert row["queue_peak"] == 3
+        assert row["starved"] == 1
+        assert row["livelocks"] == 1

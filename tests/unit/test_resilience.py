@@ -262,3 +262,96 @@ class TestResilienceManager:
             "breaker_recoveries",
             "breaker_fast_fails",
         } <= set(snapshot)
+
+
+class TestHalfOpenFlaps:
+    """Half-open flapping: probe failures re-open, partial probe
+    successes never close early, and repeated open -> half-open ->
+    open cycles keep every counter honest."""
+
+    def make(self, reset=5.0, successes=2):
+        return CircuitBreaker(
+            "svc",
+            BreakerConfig(
+                failure_threshold=1,
+                reset_timeout=reset,
+                success_threshold=successes,
+            ),
+        )
+
+    def test_success_threshold_requires_consecutive_successes(self):
+        breaker = self.make(successes=2)
+        breaker.record_failure(0.0)
+        assert breaker.allow(5.0)  # probe admitted -> half-open
+        breaker.record_success(5.5)
+        assert breaker.state is BreakerState.HALF_OPEN  # 1/2 successes
+        assert breaker.recoveries == 0
+        breaker.record_success(6.0)
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.recoveries == 1
+
+    def test_interleaved_probe_success_then_failure_reopens(self):
+        breaker = self.make(successes=2)
+        breaker.record_failure(0.0)
+        breaker.allow(5.0)
+        breaker.record_success(5.5)       # halfway to recovery...
+        breaker.record_failure(6.0)       # ...and the probe flaps
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.trips == 2
+        assert breaker.recoveries == 0
+        assert breaker.reopen_at == 11.0  # fresh full open window
+
+    def test_partial_successes_do_not_carry_across_reopen(self):
+        breaker = self.make(successes=2)
+        breaker.record_failure(0.0)
+        breaker.allow(5.0)
+        breaker.record_success(5.5)   # 1/2
+        breaker.record_failure(6.0)   # re-open resets the streak
+        breaker.allow(11.0)           # half-open again
+        breaker.record_success(11.5)  # must start over at 1/2
+        assert breaker.state is BreakerState.HALF_OPEN
+        breaker.record_success(12.0)
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.trips == 2
+        assert breaker.recoveries == 1
+
+    def test_repeated_flap_cycle_counts_every_trip(self):
+        breaker = self.make(successes=1, reset=2.0)
+        now = 0.0
+        breaker.record_failure(now)
+        for cycle in range(3):
+            now = breaker.reopen_at
+            assert breaker.allow(now)  # half-open probe
+            breaker.record_failure(now)  # probe fails -> re-open
+            assert breaker.state is BreakerState.OPEN
+        assert breaker.trips == 4  # initial + 3 flaps
+        assert breaker.recoveries == 0
+
+    def test_open_window_fast_fails_between_flaps(self):
+        breaker = self.make(successes=1, reset=4.0)
+        breaker.record_failure(0.0)
+        assert not breaker.allow(1.0)
+        assert not breaker.allow(3.9)
+        assert breaker.fast_fails == 2
+        assert breaker.allow(4.0)
+        breaker.record_failure(4.5)
+        assert not breaker.allow(5.0)  # new window: 4.5 + 4.0
+        assert breaker.fast_fails == 3
+
+    def test_board_aggregates_flap_counters(self):
+        board = BreakerBoard(
+            BreakerConfig(
+                failure_threshold=1, reset_timeout=2.0, success_threshold=2
+            )
+        )
+        breaker = board.get("svc")
+        breaker.record_failure(0.0)
+        breaker.allow(2.0)
+        breaker.record_success(2.5)
+        breaker.record_failure(3.0)  # flap
+        breaker.allow(5.0)
+        breaker.record_success(5.5)
+        breaker.record_success(6.0)  # recovery
+        assert board.trips == 2
+        assert board.recoveries == 1
+        assert board.states() == {"svc": "closed"}

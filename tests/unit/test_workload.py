@@ -100,3 +100,42 @@ class TestGeneration:
         spec = WorkloadSpec(alternative_probability=1.0, max_depth=1)
         process = generate_process(rng, spec, "X", ["s1", "s2", "s3"])
         assert any(process.alternatives(n) for n in process.activity_names)
+
+
+class TestArrivals:
+    def test_poisson_arrivals_deterministic_and_sorted(self):
+        from repro.sim.workload import ArrivalSpec, generate_arrivals
+
+        spec = ArrivalSpec(offered_load=2.0, seed=7)
+        times = generate_arrivals(50, spec)
+        assert times == generate_arrivals(50, spec)
+        assert times == sorted(times)
+        assert all(t > 0 for t in times)
+        # Mean inter-arrival approximates 1/lambda.
+        mean_gap = times[-1] / len(times)
+        assert 0.2 < mean_gap < 1.2
+
+    def test_fixed_arrivals_evenly_spaced(self):
+        from repro.sim.workload import ArrivalSpec, generate_arrivals
+
+        times = generate_arrivals(
+            4, ArrivalSpec(offered_load=2.0, mode="fixed", start=1.0)
+        )
+        assert times == [1.5, 2.0, 2.5, 3.0]
+
+    def test_seed_changes_poisson_draws(self):
+        from repro.sim.workload import ArrivalSpec, generate_arrivals
+
+        a = generate_arrivals(10, ArrivalSpec(seed=1))
+        b = generate_arrivals(10, ArrivalSpec(seed=2))
+        assert a != b
+
+    def test_arrival_spec_validation(self):
+        from repro.sim.workload import ArrivalSpec, generate_arrivals
+
+        with pytest.raises(ValueError):
+            ArrivalSpec(offered_load=0.0)
+        with pytest.raises(ValueError):
+            ArrivalSpec(mode="burst")
+        with pytest.raises(ValueError):
+            generate_arrivals(-1, ArrivalSpec())
