@@ -183,6 +183,14 @@ def _cmd_workload(args: argparse.Namespace) -> int:
     except ReproError:
         metrics.illegal_history = True
     print(format_table([metrics.row()], title=f"workload seed={args.seed}"))
+    if args.perf_counters:
+        print()
+        print(
+            format_table(
+                [metrics.perf_row()],
+                title="incremental-core perf counters",
+            )
+        )
     if args.show_history:
         print()
         print(render_schedule(history))
@@ -441,6 +449,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--order", choices=["strong", "weak"], default="strong"
     )
     workload.add_argument("--show-history", action="store_true")
+    workload.add_argument(
+        "--perf-counters",
+        action="store_true",
+        help="print the incremental scheduling core's perf counters "
+        "(conflict-cache hits, index lookups, graph/topo maintenance, "
+        "certification cost)",
+    )
     workload.set_defaults(handler=_cmd_workload)
 
     demo = commands.add_parser("demo", help="run the CIM demonstration")

@@ -37,10 +37,20 @@ when they would actually have executed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.core.activity import Direction
-from repro.core.instance import Completion
+from repro.core.instance import Completion, ProcessInstance
 from repro.core.schedule import (
     AbortEvent,
     ActivityEvent,
@@ -86,7 +96,10 @@ class CompletedSchedule(ProcessSchedule):
         ]
 
 
-def complete_schedule(schedule: ProcessSchedule) -> CompletedSchedule:
+def complete_schedule(
+    schedule: ProcessSchedule,
+    states: Optional[Mapping[str, ProcessInstance]] = None,
+) -> CompletedSchedule:
     """Build the completed process schedule ``S̃`` of ``schedule``.
 
     Every individual abort is expanded in place; all processes active at
@@ -94,6 +107,16 @@ def complete_schedule(schedule: ProcessSchedule) -> CompletedSchedule:
     completions are ordered per Definition 8 / Lemmas 2-3 (see module
     docstring).  The result is a schedule in which every participating
     process commits.
+
+    ``states`` optionally supplies pre-replayed
+    :class:`~repro.core.instance.ProcessInstance` replicas per process
+    id — the incremental certifier maintains them across prefixes, so
+    the completion avoids re-replaying each process's events from
+    scratch.  A supplied state must equal what
+    ``schedule.instance_state(pid)`` would reconstruct *at that
+    process's last event* (a process never has events after its abort,
+    so the replica state is also its state at the abort position);
+    processes missing from the mapping fall back to reconstruction.
     """
     events: List[ScheduleEvent] = []
     completion_positions: Set[int] = set()
@@ -109,7 +132,12 @@ def complete_schedule(schedule: ProcessSchedule) -> CompletedSchedule:
     for event in schedule.events:
         if isinstance(event, AbortEvent):
             aborted.add(event.process_id)
-            state = schedule.prefix(position).instance_state(event.process_id)
+            if states is not None and event.process_id in states:
+                state = states[event.process_id]
+            else:
+                state = schedule.prefix(position).instance_state(
+                    event.process_id
+                )
             completion = state.completion()
             for completion_event in _completion_events(
                 schedule, event.process_id, completion
@@ -136,7 +164,7 @@ def complete_schedule(schedule: ProcessSchedule) -> CompletedSchedule:
     if active:
         emit(GroupAbortEvent(active), is_completion=True)
         aborted.update(active)
-        _expand_group(schedule, schedule, active, emit)
+        _expand_group(schedule, schedule, active, emit, states=states)
 
     return CompletedSchedule(
         schedule,
@@ -167,6 +195,7 @@ def _expand_group(
     state_source: ProcessSchedule,
     process_ids: Sequence[str],
     emit,
+    states: Optional[Mapping[str, ProcessInstance]] = None,
 ) -> None:
     """Emit the completions of a group abort (Definition 8 rules 3(d)-(f)).
 
@@ -177,7 +206,10 @@ def _expand_group(
     """
     completions: Dict[str, Completion] = {}
     for process_id in process_ids:
-        state = state_source.instance_state(process_id)
+        if states is not None and process_id in states:
+            state = states[process_id]
+        else:
+            state = state_source.instance_state(process_id)
         completions[process_id] = state.completion()
 
     # Compensations in reverse global order of their forward activities.

@@ -26,7 +26,9 @@ source of conflict information.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import (
     AbstractSet,
     Dict,
@@ -52,12 +54,15 @@ __all__ = [
 ]
 
 
+@lru_cache(maxsize=None)
 def normalize_service(service: str) -> str:
     """Map a compensation service name to its forward service.
 
     Perfect commutativity (paper §3.2) means a compensating activity has
     exactly the conflicts of its forward activity, so conflict lookup
-    always happens on forward service names.
+    always happens on forward service names.  Memoised: the service
+    universe is small and fixed per run while lookups are the scheduler's
+    hottest string operation.
     """
     if service.endswith(COMPENSATION_SUFFIX):
         return service[: -len(COMPENSATION_SUFFIX)]
@@ -69,8 +74,41 @@ class ConflictRelation:
 
     Subclasses implement :meth:`_conflicts_forward` on *normalised*
     (forward) service names; the public API applies perfect-commutativity
-    normalisation and symmetry.
+    normalisation and symmetry.  Mutable relations maintain a
+    monotonically increasing :attr:`version` so callers that cache
+    derived structures (conflict matrices, serialization graphs) can
+    detect mid-run mutations and rebuild.
     """
+
+    @property
+    def version(self) -> int:
+        """Mutation counter; immutable relations stay at 0 forever."""
+        return getattr(self, "_version", 0)
+
+    def _bump(self) -> None:
+        """Record a mutation: advance the version, notify subscribers.
+
+        Push-based invalidation keeps the hot lookup path free of any
+        per-call version polling — derived caches (:class:`UnionConflicts`)
+        are told *when* a child mutates instead of asking every time.
+        """
+        self._version = getattr(self, "_version", 0) + 1
+        subscribers = getattr(self, "_subscribers", None)
+        if subscribers:
+            alive = []
+            for ref in subscribers:
+                parent = ref()
+                if parent is not None:
+                    parent._on_child_mutated()
+                    alive.append(ref)
+            self._subscribers = alive
+
+    def _subscribe(self, parent: "UnionConflicts") -> None:
+        subscribers = getattr(self, "_subscribers", None)
+        if subscribers is None:
+            subscribers = []
+            self._subscribers = subscribers
+        subscribers.append(weakref.ref(parent))
 
     def conflicts(self, service_a: str, service_b: str) -> bool:
         """``True`` iff the two services do not commute (Definition 6)."""
@@ -124,6 +162,7 @@ class ExplicitConflicts(ConflictRelation):
 
     def __init__(self, pairs: Iterable[Tuple[str, str]] = ()) -> None:
         self._pairs: Set[FrozenSet[str]] = set()
+        self._version = 0
         for left, right in pairs:
             self.declare(left, right)
 
@@ -132,7 +171,9 @@ class ExplicitConflicts(ConflictRelation):
         pair = frozenset(
             (normalize_service(service_a), normalize_service(service_b))
         )
-        self._pairs.add(pair)
+        if pair not in self._pairs:
+            self._pairs.add(pair)
+            self._bump()
         return self
 
     def retract(self, service_a: str, service_b: str) -> "ExplicitConflicts":
@@ -140,7 +181,9 @@ class ExplicitConflicts(ConflictRelation):
         pair = frozenset(
             (normalize_service(service_a), normalize_service(service_b))
         )
-        self._pairs.discard(pair)
+        if pair in self._pairs:
+            self._pairs.discard(pair)
+            self._bump()
         return self
 
     def _conflicts_forward(self, service_a: str, service_b: str) -> bool:
@@ -177,6 +220,7 @@ class ReadWriteConflicts(ConflictRelation):
 
     def __init__(self) -> None:
         self._accesses: Dict[str, _AccessSet] = {}
+        self._version = 0
 
     def register(
         self,
@@ -191,10 +235,16 @@ class ReadWriteConflicts(ConflictRelation):
         """
         name = normalize_service(service)
         current = self._accesses.get(name, _AccessSet())
-        self._accesses[name] = _AccessSet(
+        merged = _AccessSet(
             reads=current.reads | frozenset(reads),
             writes=current.writes | frozenset(writes),
         )
+        # An unknown service and an empty registered access set are
+        # equivalent (both conflict-free), so only a genuine change to
+        # the access sets counts as a mutation.
+        if merged != current:
+            self._bump()
+        self._accesses[name] = merged
         return self
 
     def access_set(self, service: str) -> Tuple[FrozenSet[str], FrozenSet[str]]:
@@ -223,6 +273,12 @@ class UnionConflicts(ConflictRelation):
     Useful to combine semantic (read/write) conflicts with extra
     explicitly declared ones, e.g. conflicts through an external channel
     the resource model does not capture.
+
+    Lookups are memoised behind a per-pair boolean cache keyed on
+    normalised names (both orders, since the relation is symmetric); the
+    cache drops itself whenever any child relation's :attr:`version`
+    moves, so mid-run ``declare``/``retract``/``register`` calls stay
+    correct.  ``lookups`` / ``cache_hits`` feed the perf-counter layer.
     """
 
     def __init__(self, relations: Iterable[ConflictRelation]) -> None:
@@ -233,9 +289,32 @@ class UnionConflicts(ConflictRelation):
             else:
                 flattened.append(relation)
         self._relations: Tuple[ConflictRelation, ...] = tuple(flattened)
+        self._cache: Dict[Tuple[str, str], bool] = {}
+        #: Total pair lookups / lookups answered from the cache.
+        self.lookups = 0
+        self.cache_hits = 0
+        self._version = sum(
+            relation.version for relation in self._relations
+        )
+        for relation in self._relations:
+            relation._subscribe(self)
+
+    def _on_child_mutated(self) -> None:
+        """A child relation changed: drop the pair cache (push model)."""
+        self._version += 1
+        self._cache.clear()
 
     def _conflicts_forward(self, service_a: str, service_b: str) -> bool:
-        return any(
+        self.lookups += 1
+        key = (service_a, service_b)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        result = any(
             relation._conflicts_forward(service_a, service_b)
             for relation in self._relations
         )
+        self._cache[key] = result
+        self._cache[(service_b, service_a)] = result
+        return result

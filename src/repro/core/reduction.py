@@ -47,9 +47,21 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.activity import ActivityId
 from repro.core.completion import CompletedSchedule, complete_schedule
-from repro.core.schedule import ActivityEvent, ProcessSchedule
+from repro.core.conflict import ConflictRelation
+from repro.core.instance import ProcessInstance
+from repro.core.process import Process
+from repro.core.schedule import (
+    ActivityEvent,
+    ProcessSchedule,
+    ScheduleEvent,
+)
 
-__all__ = ["ReductionResult", "reduce_schedule", "is_reducible"]
+__all__ = [
+    "ReductionResult",
+    "reduce_schedule",
+    "is_reducible",
+    "PrefixCertifier",
+]
 
 
 @dataclass(frozen=True)
@@ -179,3 +191,55 @@ def _find_cancellable_pair(
 def is_reducible(schedule: ProcessSchedule) -> bool:
     """``True`` iff the schedule is RED (Definition 9)."""
     return reduce_schedule(schedule).is_reducible
+
+
+class PrefixCertifier:
+    """Amortized certification of a growing history's prefixes.
+
+    The scheduler's paranoid mode certifies ``RED(prefix)`` for every
+    prefix of the produced history.  Re-running :func:`reduce_schedule`
+    per prefix re-replays every process's events from scratch each time
+    (the ``instance_state`` reconstructions inside the completion
+    dominate the O(n³) fixpoint in practice).  The certifier keeps the
+    growing schedule and a live :class:`~repro.core.instance.
+    ProcessInstance` replica per process across prefixes: each
+    :meth:`observe` advances the affected replica by *one* event and
+    hands the replicas to :func:`~repro.core.completion.
+    complete_schedule`, so certifying prefix ``n`` costs the reduction
+    of prefix ``n`` but no longer the O(n) re-replay per process.
+
+    The certifier assumes events arrive in history order.  When the
+    owner rewrites the past (native rollback) it must discard the
+    certifier and build a fresh one — prefix certification restarts
+    from zero, exactly like the recompute path.
+    """
+
+    def __init__(self, conflicts: ConflictRelation) -> None:
+        self._schedule = ProcessSchedule((), conflicts)
+        self._states: Dict[str, ProcessInstance] = {}
+
+    def __len__(self) -> int:
+        return len(self._schedule)
+
+    @property
+    def schedule(self) -> ProcessSchedule:
+        """The history observed so far."""
+        return self._schedule
+
+    def add_process(self, process: Process) -> None:
+        """Register a process template (idempotent)."""
+        self._schedule.add_process(process)
+
+    def observe(self, event: ScheduleEvent) -> ReductionResult:
+        """Append one history event and certify the new prefix."""
+        self._schedule.append(event)
+        process_id = getattr(event, "process_id", None)
+        if process_id is not None:
+            state = self._states.get(process_id)
+            if state is None:
+                state = ProcessInstance(self._schedule.process(process_id))
+                self._states[process_id] = state
+            if isinstance(event, ActivityEvent):
+                self._schedule.replay_event(state, event, process_id)
+        completed = complete_schedule(self._schedule, states=self._states)
+        return reduce_schedule(completed)

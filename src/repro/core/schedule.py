@@ -57,7 +57,23 @@ __all__ = [
     "GroupAbortEvent",
     "ScheduleEvent",
     "ProcessSchedule",
+    "CycleWitnesses",
 ]
+
+
+class CycleWitnesses(List[Tuple[str, ...]]):
+    """Cycle witnesses of a serialization graph.
+
+    A plain list of cycles (so existing equality comparisons keep
+    working) plus a ``truncated`` flag: enumeration is bounded — on
+    pathological graphs the number of simple cycles is exponential —
+    and the flag records that the bound was hit, so "no cycles found"
+    is distinguishable from "stopped looking".
+    """
+
+    def __init__(self, *args: Iterable[Tuple[str, ...]]) -> None:
+        super().__init__(*args)
+        self.truncated = False
 
 
 @dataclass(frozen=True)
@@ -172,6 +188,23 @@ class ProcessSchedule:
 
     def processes(self) -> Iterator[Process]:
         return iter(self._processes.values())
+
+    def add_process(self, process: Process) -> "ProcessSchedule":
+        """Register a further process template; returns ``self``.
+
+        Lets incremental consumers (the scheduler's prefix certifier)
+        grow ``P_S`` as processes join the history instead of rebuilding
+        the schedule.  Re-adding the same template is a no-op; a
+        *different* template under an existing id is rejected.
+        """
+        existing = self._processes.get(process.process_id)
+        if existing is None:
+            self._processes[process.process_id] = process
+        elif existing is not process:
+            raise InvalidScheduleError(
+                f"duplicate process id {process.process_id!r} in schedule"
+            )
+        return self
 
     def append(self, event: ScheduleEvent) -> "ProcessSchedule":
         """Append a pre-built event; returns ``self`` for chaining."""
@@ -392,24 +425,43 @@ class ProcessSchedule:
             return None
         return order
 
-    def cycles(self) -> List[Tuple[str, ...]]:
-        """Simple cycles of the serialization graph (witnesses)."""
-        graph = self.serialization_graph()
-        cycles: List[Tuple[str, ...]] = []
-        seen_signatures: Set[FrozenSet[str]] = set()
+    def cycles(
+        self, limit: int = 64, budget: int = 50_000
+    ) -> CycleWitnesses:
+        """Simple cycles of the serialization graph (witnesses).
 
-        def walk(start: str, current: str, path: List[str]) -> None:
+        Bounded: at most ``limit`` witnesses are collected and at most
+        ``budget`` search steps are spent (simple-path enumeration is
+        exponential on dense graphs).  The returned list's
+        ``truncated`` flag is set when either bound cut the search
+        short — witnesses are diagnostics, so a bounded sample beats an
+        exponential stall.
+        """
+        graph = self.serialization_graph()
+        cycles = CycleWitnesses()
+        seen_signatures: Set[FrozenSet[str]] = set()
+        steps = [budget]
+
+        def walk(start: str, current: str, path: List[str]) -> bool:
+            """Depth-first witness search; False when a bound was hit."""
             for target in sorted(graph.get(current, ())):
+                steps[0] -= 1
+                if steps[0] <= 0 or len(cycles) >= limit:
+                    cycles.truncated = True
+                    return False
                 if target == start and len(path) > 0:
                     signature = frozenset(path + [current])
                     if signature not in seen_signatures:
                         seen_signatures.add(signature)
                         cycles.append(tuple(path + [current, start]))
                 elif target not in path and target != current and target > start:
-                    walk(start, target, path + [current])
+                    if not walk(start, target, path + [current]):
+                        return False
+            return True
 
         for node in sorted(graph):
-            walk(node, node, [])
+            if not walk(node, node, []):
+                break
         return cycles
 
     # -- legality and state reconstruction -------------------------------------
@@ -427,15 +479,23 @@ class ProcessSchedule:
         process = self.process(process_id)
         instance = ProcessInstance(process)
         for event in self.events_of(process_id):
-            self._replay_event(instance, event, process_id)
+            self.replay_event(instance, event, process_id)
         return instance
 
-    def _replay_event(
+    def replay_event(
         self,
         instance: ProcessInstance,
         event: ActivityEvent,
         process_id: str,
     ) -> None:
+        """Advance ``instance`` by one observed activity event.
+
+        The single-step engine behind :meth:`instance_state`, exposed so
+        incremental consumers (the scheduler's prefix certifier) can
+        maintain long-lived replica states instead of re-replaying every
+        prefix from scratch.  Raises :class:`InvalidScheduleError` when
+        the event is not a legal continuation.
+        """
         budget = len(instance.process) * 4 + 8
         abort_inferred = False
         while budget:

@@ -88,7 +88,12 @@ from repro.core.admission import (
     QueuedArrival,
     WatchdogConfig,
 )
-from repro.core.conflict import ConflictRelation, NoConflicts, UnionConflicts
+from repro.core.conflict import (
+    ConflictRelation,
+    NoConflicts,
+    UnionConflicts,
+    normalize_service,
+)
 from repro.core.instance import (
     Action,
     ActionType,
@@ -112,6 +117,8 @@ from repro.errors import (
     UnknownProcessError,
     UnrecoverableStateError,
 )
+from repro.core.perf import PerfCounters
+from repro.core.sergraph import IncrementalSerializationGraph
 from repro.resilience.manager import ResilienceManager
 from repro.subsystems.failures import FailurePolicy, NoFailures
 from repro.subsystems.resource import WouldBlock
@@ -253,6 +260,9 @@ class ManagedProcess:
     serialized: bool = False
     #: Memoised ``(trace_length, completion)`` for admission checks.
     _completion_cache: Optional[Tuple[int, object]] = None
+    #: Memoised ``(trace_length, graph epoch, interned forward-recovery
+    #: services)`` — the service set the completion would still run.
+    _forward_services_cache: Optional[Tuple[int, int, FrozenSet[str]]] = None
 
     @property
     def process_id(self) -> str:
@@ -337,8 +347,33 @@ class TransactionalProcessScheduler:
         self._termination_order: List[object] = []
         #: Paranoid-mode watermark: prefixes below it are certified.
         self._paranoid_upto = 0
-        #: Memoised process conflict graph; invalidated on log changes.
-        self._edges_cache: Optional[Dict[str, Set[str]]] = None
+        #: Perf counters of the incremental core (see core/perf.py).
+        self.perf = PerfCounters()
+        #: Incrementally maintained serialization graph + dependency
+        #: indexes (see core/sergraph.py) — updated on every
+        #: effectiveness transition of the log, never bulk-invalidated.
+        self._graph = IncrementalSerializationGraph(
+            self.conflicts, perf=self.perf
+        )
+        #: Conflict-relation version the graph was built against; a
+        #: drift (mid-run declare/retract/register) forces a rebuild.
+        self._conflict_version = self.conflicts.version
+        #: Incremental paranoid-mode certifier and its timeline
+        #: watermark (entries below it are certified).
+        self._certifier = None
+        self._certified_timeline = 0
+        #: Bumped on every effectiveness transition of the log (append,
+        #: rollback, compensation pairing) — admission caches keyed on
+        #: it stay valid across the deferral storms in between.
+        self._history_version = 0
+        #: Bumped whenever the set of non-terminal processes changes
+        #: (submission or terminal transition).
+        self._active_version = 0
+        #: Memoised forward-recovery potential edges of the recorded
+        #: state (see :meth:`_potential_edges_base`).
+        self._potential_cache: Optional[
+            Tuple[tuple, Dict[str, FrozenSet[str]], Set[Tuple[str, str]]]
+        ] = None
         #: Observers notified of scheduler events (see add_listener).
         self._listeners: List[Callable[[str, Dict[str, object]], None]] = []
         #: Latency-spike overhead per log position (virtual time the
@@ -411,7 +446,8 @@ class TransactionalProcessScheduler:
         )
         self._managed[identifier] = managed
         self._reserved_ids.discard(identifier)
-        self._edges_cache = None
+        self._graph.add_process(identifier)
+        self._active_version += 1
         self._wal({"type": "process_submit", "process": identifier})
         return identifier
 
@@ -999,10 +1035,15 @@ class TransactionalProcessScheduler:
                 )
                 return False
 
-        conflicting = self._conflicting_predecessors(pid, definition.service)
+        # Distinct conflicting processes suffice here (positions don't
+        # matter for R5/R6 and Lemma 1), so ask the cheaper index query.
+        assert definition.service is not None
+        self.perf.index_lookups += 1
         active_conflicts = {
             other_pid
-            for other_pid, _ in conflicting
+            for other_pid in self._graph_sync().conflicting_processes_after(
+                definition.service, pid, -1
+            )
             if not self._managed[other_pid].status.is_terminal
         }
 
@@ -1334,6 +1375,7 @@ class TransactionalProcessScheduler:
             if not self._harden(managed):
                 return False
             managed.status = ManagedStatus.COMMITTED
+            self._active_version += 1
             self._timeline.append(("termination", CommitEvent(pid)))
             self._termination_order.append(CommitEvent(pid))
             self._notify("terminated", process=pid, status="committed")
@@ -1343,6 +1385,7 @@ class TransactionalProcessScheduler:
             # non-compensatable invocations natively.
             self._rollback_prepared(managed)
             managed.status = ManagedStatus.ABORTED
+            self._active_version += 1
             self._timeline.append(("termination", AbortEvent(pid)))
             self._termination_order.append(AbortEvent(pid))
             self._notify("terminated", process=pid, status="aborted")
@@ -1400,13 +1443,13 @@ class TransactionalProcessScheduler:
     def _rollback_prepared(self, managed: ManagedProcess) -> None:
         if managed.prepared:
             # Rolling back rewrites the recorded past: every prefix must
-            # be re-certified in paranoid mode, and the conflict graph
-            # must be rebuilt.
-            self._paranoid_upto = 0
-            self._edges_cache = None
+            # be re-certified in paranoid mode (the incremental
+            # certifier is discarded); the serialization graph only
+            # *loses* the rolled-back events and is updated in place.
+            self._reset_certifier()
         for prepared in managed.prepared:
             prepared.subsystem.rollback_prepared(prepared.txn_id)
-            self._log[prepared.log_position].rolled_back = True
+            self._mark_rolled_back(prepared.log_position)
             self._wal(
                 {
                     "type": "activity_rollback",
@@ -1493,9 +1536,11 @@ class TransactionalProcessScheduler:
         self.stats["2pc_groups"] += 1
         if not group.committed:
             # A vetoed group is rolled back by the coordinator; the
-            # invocations never happened, so the process aborts.
+            # invocations never happened, so the process aborts.  This
+            # also rewrites the past, so re-certify from scratch.
+            self._reset_certifier()
             for prepared in managed.prepared:
-                self._log[prepared.log_position].rolled_back = True
+                self._mark_rolled_back(prepared.log_position)
             managed.prepared.clear()
             self._begin_abort(
                 managed,
@@ -1598,25 +1643,82 @@ class TransactionalProcessScheduler:
             }
             for pid, managed in waiting.items()
         }
-        # Iteratively strip nodes with no outgoing wait edges into live
-        # nodes; what remains participates in (or feeds) a cycle.
-        changed = True
-        nodes = set(graph)
-        while changed:
-            changed = False
-            for node in list(nodes):
-                if not (graph[node] & nodes):
-                    nodes.discard(node)
-                    changed = True
-        return nodes
+        # Kahn-style peel on out-degrees: strip nodes with no outgoing
+        # wait edges in a single pass over the edges; what remains
+        # participates in (or feeds) a cycle.  Equivalent to the
+        # fixpoint strip but O(V + E) instead of O(V²) per round.
+        out_degree = {pid: len(targets) for pid, targets in graph.items()}
+        reverse: Dict[str, List[str]] = {pid: [] for pid in graph}
+        for pid, targets in graph.items():
+            for target in targets:
+                reverse[target].append(pid)
+        peel = deque(
+            pid for pid, degree in out_degree.items() if degree == 0
+        )
+        alive = set(graph)
+        while peel:
+            node = peel.popleft()
+            alive.discard(node)
+            for waiter in reverse[node]:
+                out_degree[waiter] -= 1
+                if out_degree[waiter] == 0:
+                    peel.append(waiter)
+        return alive
 
     # -- dependency graph ------------------------------------------------------------
+    #
+    # All dependency queries answer from the incrementally maintained
+    # serialization graph and its inverted indexes (core/sergraph.py).
+    # The legacy full-log scans are kept as ``*_scan`` / ``_edges_recompute``
+    # reference implementations: the shadow-check property tests prove
+    # the incremental structures bit-identical to them after arbitrary
+    # operation sequences.
+
+    def _graph_sync(self) -> IncrementalSerializationGraph:
+        """The incremental graph, rebuilt if the conflict relation moved."""
+        version = self.conflicts.version
+        if version != self._conflict_version:
+            self._conflict_version = version
+            self._rebuild_graph()
+        return self._graph
+
+    def _rebuild_graph(self) -> None:
+        entries = [
+            (
+                position,
+                entry.process_id,
+                entry.event.activity.activity_name,
+                entry.event.conflict_service,
+                not entry.event.is_compensation,
+            )
+            for position, entry in enumerate(self._log)
+            if entry.is_effective
+        ]
+        self._graph.rebuild(list(self._managed), entries)
+
+    def _mark_rolled_back(self, position: int) -> None:
+        """Mark a log entry rolled back and unindex it."""
+        entry = self._log[position]
+        if not entry.rolled_back:
+            if entry.is_effective:
+                self._graph_sync().remove_event(position)
+            entry.rolled_back = True
+            self._history_version += 1
 
     def _conflicting_predecessors(
         self, pid: str, service: Optional[str]
     ) -> List[Tuple[str, int]]:
         """Effective events of other processes conflicting with ``service``."""
         assert service is not None
+        self.perf.index_lookups += 1
+        return self._graph_sync().conflicting_events(service, pid)
+
+    def _conflicting_predecessors_scan(
+        self, pid: str, service: Optional[str]
+    ) -> List[Tuple[str, int]]:
+        """Reference full-log scan (shadow checks only)."""
+        assert service is not None
+        self.perf.log_scans += 1
         found: List[Tuple[str, int]] = []
         for position, entry in enumerate(self._log):
             if entry.process_id == pid or not entry.is_effective:
@@ -1631,14 +1733,32 @@ class TransactionalProcessScheduler:
         """Processes whose conflicting work after ``after`` blocks a
         compensation at that position (Lemma 2's precondition).
 
-        A later *forward* event blocks until it is compensated itself.
-        A later *compensation* event blocks only if its own forward
-        partner lies at or before ``after`` — a pair entirely inside the
-        interval cancels first under the compensation rule and is no
-        obstacle to reduction.
+        A later *forward* event blocks until it is compensated itself
+        (an effective compensation is always an orphan — its partner
+        forward event left the index when the pair cancelled — so every
+        indexed event past ``after`` blocks).  Answered from the
+        per-service index: only processes whose *latest* conflicting
+        position exceeds ``after`` qualify.
         """
         assert service is not None
         start = -1 if after is None else after
+        self.perf.index_lookups += 1
+        graph = self._graph_sync()
+        return {
+            other_pid
+            for other_pid in graph.conflicting_processes_after(
+                service, pid, start
+            )
+            if not self._managed[other_pid].status.is_terminal
+        }
+
+    def _conflicting_successors_scan(
+        self, pid: str, service: Optional[str], after: Optional[int]
+    ) -> Set[str]:
+        """Reference full-log scan (shadow checks only)."""
+        assert service is not None
+        start = -1 if after is None else after
+        self.perf.log_scans += 1
         dependents: Set[str] = set()
         for position, entry in enumerate(self._log):
             if position <= start or entry.process_id == pid:
@@ -1661,6 +1781,14 @@ class TransactionalProcessScheduler:
     def _last_effective_position(
         self, pid: str, activity_name: str
     ) -> Optional[int]:
+        self.perf.index_lookups += 1
+        return self._graph_sync().last_forward_position(pid, activity_name)
+
+    def _last_effective_position_scan(
+        self, pid: str, activity_name: str
+    ) -> Optional[int]:
+        """Reference backwards scan (shadow checks only)."""
+        self.perf.log_scans += 1
         for position in range(len(self._log) - 1, -1, -1):
             entry = self._log[position]
             if (
@@ -1676,11 +1804,14 @@ class TransactionalProcessScheduler:
     def _edges(self) -> Dict[str, Set[str]]:
         """Current process serialization graph over effective events.
 
-        Memoised: every call between two log mutations returns the same
-        graph object (callers only read it, or copy before extending).
+        The incrementally maintained graph — callers only read it, or
+        copy before extending.
         """
-        if self._edges_cache is not None:
-            return self._edges_cache
+        return self._graph_sync().adjacency()
+
+    def _edges_recompute(self) -> Dict[str, Set[str]]:
+        """Reference O(E²) pairwise rebuild (shadow checks only)."""
+        self.perf.log_scans += 1
         graph: Dict[str, Set[str]] = {pid: set() for pid in self._managed}
         effective = [
             entry for entry in self._log if entry.is_effective
@@ -1695,24 +1826,15 @@ class TransactionalProcessScheduler:
                     left.event.conflict_service, right.event.conflict_service
                 ):
                     graph[left.process_id].add(right.process_id)
-        self._edges_cache = graph
         return graph
 
     def _has_path(self, source: str, target: str) -> bool:
         if source == target:
             return False
-        graph = self._edges()
-        seen: Set[str] = set()
-        stack = [source]
-        while stack:
-            current = stack.pop()
-            if current == target:
-                return True
-            if current in seen:
-                continue
-            seen.add(current)
-            stack.extend(graph.get(current, ()))
-        return False
+        # Reachability over the incremental graph; the maintained
+        # topological order prunes the search (or settles it outright
+        # when the order already separates the endpoints).
+        return self._graph_sync().has_path(source, target)
 
     def _completion_of(self, managed: ManagedProcess):
         """The instance's completion, memoised per trace length.
@@ -1734,7 +1856,7 @@ class TransactionalProcessScheduler:
         self,
         hypothetical_pid: Optional[str] = None,
         hypothetical_activity: Optional[str] = None,
-    ) -> Dict[str, Set[str]]:
+    ) -> Dict[str, FrozenSet[str]]:
         """Per active process: services its completion would still run.
 
         These are the forward-recovery activities Definition 8 forces
@@ -1742,8 +1864,15 @@ class TransactionalProcessScheduler:
         with them are the "conflicts not known from S alone" of §3.5.
         For the requesting process the completion is evaluated *after*
         the hypothetical activity, since admission decides the post-state.
+
+        Service names come back *interned* into the graph's conflict
+        universe (so potential-edge tests can use the adjacency matrix)
+        and are memoised per (trace length, interning epoch) on each
+        managed process — a completion only changes when the trace does.
         """
-        forward: Dict[str, Set[str]] = {}
+        graph = self._graph_sync()
+        epoch = graph.epoch
+        forward: Dict[str, FrozenSet[str]] = {}
         for other_pid, other in self._managed.items():
             if other.status.is_terminal:
                 continue
@@ -1755,16 +1884,73 @@ class TransactionalProcessScheduler:
                 completion = other.instance.hypothetical_completion(
                     hypothetical_activity
                 )
+                services = self._interned_forward(graph, other, completion)
             else:
-                completion = self._completion_of(other)
-            services = set()
-            for name in completion.forward:
-                service = other.instance.definition(name).service
-                assert service is not None
-                services.add(service)
+                length = len(other.instance.trace())
+                cached = other._forward_services_cache
+                if (
+                    cached is not None
+                    and cached[0] == length
+                    and cached[1] == epoch
+                ):
+                    services = cached[2]
+                else:
+                    services = self._interned_forward(
+                        graph, other, self._completion_of(other)
+                    )
+                    other._forward_services_cache = (length, epoch, services)
             if services:
                 forward[other_pid] = services
         return forward
+
+    @staticmethod
+    def _interned_forward(
+        graph, managed: ManagedProcess, completion
+    ) -> FrozenSet[str]:
+        """Interned services of a completion's forward-recovery path."""
+        services = set()
+        for name in completion.forward:
+            service = managed.instance.definition(name).service
+            assert service is not None
+            services.add(graph.ensure_service(service))
+        return frozenset(services)
+
+    def _potential_edges_base(
+        self, graph: IncrementalSerializationGraph
+    ) -> Tuple[Dict[str, FrozenSet[str]], Set[Tuple[str, str]]]:
+        """Forward-recovery potential edges of the *recorded* state.
+
+        ``src → dst`` whenever an executed effective service of ``src``
+        conflicts with a service active ``dst``'s completion would still
+        run (§3.5's "conflicts not known from S alone"), minus pairs
+        already ordered by a recorded edge.  The set only changes when
+        the history or the active set does, so the O(P²) pair sweep is
+        amortized over history mutations instead of being paid by every
+        admission request — deferral storms under contention re-ask
+        with an unchanged log.  Returns ``(forward services per active
+        process, potential edges)``.
+        """
+        key = (self._history_version, graph.epoch, self._active_version)
+        cached = self._potential_cache
+        if cached is not None and cached[0] == key:
+            return cached[1], cached[2]
+        forward = self._forward_services()
+        edges: Set[Tuple[str, str]] = set()
+        if forward:
+            base = graph.adjacency()
+            for src_pid in graph.process_services():
+                signature = graph.service_signature(src_pid)
+                if not signature:
+                    continue
+                reachable = graph.reachable_services(signature)
+                src_edges = base.get(src_pid, ())
+                for dst_pid, targets in forward.items():
+                    if dst_pid == src_pid or dst_pid in src_edges:
+                        continue
+                    if not reachable.isdisjoint(targets):
+                        edges.add((src_pid, dst_pid))
+        self._potential_cache = (key, forward, edges)
+        return forward, edges
 
     def _completion_cycle(
         self,
@@ -1782,38 +1968,101 @@ class TransactionalProcessScheduler:
         Returns the cycle's nodes (empty when the prefix stays safe).
         """
         pid = managed.process_id
-        edges = {
-            source: set(targets) for source, targets in self._edges().items()
-        }
-        for other_pid, _ in self._conflicting_predecessors(pid, definition.service):
-            edges.setdefault(other_pid, set()).add(pid)
+        service = definition.service
+        assert service is not None
+        graph = self._graph_sync()
+        base = graph.adjacency()
 
-        forward = self._forward_services(pid, activity_name)
-        executed: List[Tuple[str, str]] = [
-            (entry.process_id, entry.event.conflict_service)
-            for entry in self._log
-            if entry.is_effective
-        ]
-        executed.append((pid, definition.service))  # type: ignore[arg-type]
-        for src_pid, src_service in executed:
-            for dst_pid, services in forward.items():
-                if dst_pid == src_pid or dst_pid in edges.get(src_pid, ()):
+        # Hypothetical edges the request would add on top of the
+        # recorded graph: (a) conflict edges from every effective
+        # conflicting predecessor into the requester, (b) potential
+        # forward-recovery edges P → Q for every executed service of P
+        # (plus the hypothetical one) conflicting with a service Q's
+        # completion would still run.
+        new_edges: Set[Tuple[str, str]] = set()
+        self.perf.index_lookups += 1
+        for other_pid in graph.conflicting_processes_after(service, pid, -1):
+            if pid not in base.get(other_pid, ()):
+                new_edges.add((other_pid, pid))
+
+        # Potential edges among the *other* processes depend only on the
+        # recorded state — they come from the amortized cache.  Only the
+        # requester's row (it as source, with the hypothetical service)
+        # and column (it as destination, with its post-request
+        # completion) are request-specific.
+        forward, potential = self._potential_edges_base(graph)
+        hypothetical = graph.ensure_service(service)
+        for edge in potential:
+            if pid not in edge:
+                new_edges.add(edge)
+
+        signature = graph.service_signature(pid) | {hypothetical}
+        reachable = graph.reachable_services(signature)
+        src_edges = base.get(pid, ())
+        for dst_pid, targets in forward.items():
+            if dst_pid == pid or dst_pid in src_edges:
+                continue
+            if (pid, dst_pid) in new_edges:
+                continue
+            if not reachable.isdisjoint(targets):
+                new_edges.add((pid, dst_pid))
+
+        targets = self._interned_forward(
+            graph,
+            managed,
+            managed.instance.hypothetical_completion(activity_name),
+        )
+        if targets:
+            for src_pid in graph.process_services():
+                if src_pid == pid:
                     continue
-                if any(
-                    self.conflicts.conflicts(src_service, target)
-                    for target in services
+                src_signature = graph.service_signature(src_pid)
+                if not src_signature:
+                    continue
+                if pid in base.get(src_pid, ()) or (src_pid, pid) in new_edges:
+                    continue
+                if not graph.reachable_services(src_signature).isdisjoint(
+                    targets
                 ):
-                    edges.setdefault(src_pid, set()).add(dst_pid)
+                    new_edges.add((src_pid, pid))
 
+        # Fast path: a valid topological order in which every
+        # hypothetical edge goes strictly forward certifies the combined
+        # graph acyclic — no cycle through anything, so none through
+        # ``pid``.  Otherwise fall back to the DFS witness search.
+        if graph.order_permits(new_edges):
+            self.perf.cycle_fast_path += 1
+            return set()
+        self.perf.cycle_dfs += 1
+        extra: Dict[str, Set[str]] = {}
+        for src_pid, dst_pid in new_edges:
+            extra.setdefault(src_pid, set()).add(dst_pid)
         # A new cycle must pass through the requesting process.
-        return self._cycle_through(edges, pid)
+        return self._cycle_through(base, extra, pid)
 
     @staticmethod
-    def _cycle_through(edges: Dict[str, Set[str]], pid: str) -> Set[str]:
-        """Nodes of a cycle through ``pid`` in ``edges``, if any."""
+    def _cycle_through(
+        base: Dict[str, Set[str]],
+        extra: Dict[str, Set[str]],
+        pid: str,
+    ) -> Set[str]:
+        """Nodes of a cycle through ``pid`` in ``base ∪ extra``, if any.
+
+        The two adjacency maps are merged lazily per visited node, so the
+        (usually large) recorded graph is never copied wholesale.
+        """
+        empty: Set[str] = set()
+
+        def successors(node: str) -> List[str]:
+            recorded = base.get(node, empty)
+            added = extra.get(node)
+            if added:
+                return sorted(recorded | added)
+            return sorted(recorded)
+
         # DFS from pid back to pid, tracking the path.
         stack: List[Tuple[str, List[str]]] = [
-            (target, [pid]) for target in sorted(edges.get(pid, ()))
+            (target, [pid]) for target in successors(pid)
         ]
         seen: Set[str] = set()
         while stack:
@@ -1823,19 +2072,17 @@ class TransactionalProcessScheduler:
             if current in seen:
                 continue
             seen.add(current)
-            for target in sorted(edges.get(current, ())):
+            for target in successors(current):
                 stack.append((target, path + [current]))
         return set()
 
     def _active_predecessors(self, pid: str) -> Set[str]:
         """Active processes with a conflict edge into ``pid``."""
-        graph = self._edges()
+        self.perf.index_lookups += 1
         return {
             other_pid
-            for other_pid, targets in graph.items()
-            if pid in targets
-            and other_pid != pid
-            and not self._managed[other_pid].status.is_terminal
+            for other_pid in self._graph_sync().predecessors(pid)
+            if not self._managed[other_pid].status.is_terminal
         }
 
     def _processes_holding(self, txn_ids: FrozenSet[str]) -> Set[str]:
@@ -1867,16 +2114,29 @@ class TransactionalProcessScheduler:
         )
         entry = _LogEntry(event=event)
         position = len(self._log)
-        self._edges_cache = None
+        graph = self._graph_sync()
         if direction is Direction.COMPENSATION:
             forward_position = self._last_effective_position(
                 managed.process_id, activity_name
             )
             if forward_position is not None:
+                # The pair cancels: the forward partner leaves the
+                # indexes together with its edges, and the compensation
+                # itself (non-orphan → ineffective) is never indexed.
                 entry.compensates = forward_position
                 self._log[forward_position].compensated = True
+                graph.remove_event(forward_position)
         self._log.append(entry)
+        if entry.is_effective:
+            graph.add_event(
+                position,
+                managed.process_id,
+                activity_name,
+                event.conflict_service,
+                is_forward=not event.is_compensation,
+            )
         managed.log_positions.append(position)
+        self._history_version += 1
         self._timeline.append(("activity", position))
         self._notify(
             "activity",
@@ -1922,26 +2182,57 @@ class TransactionalProcessScheduler:
         if validate and self.rules.paranoid:
             self._paranoid_check()
 
+    def _reset_certifier(self) -> None:
+        """Discard certification state: the recorded past was rewritten
+        (native rollback / 2PC veto), so every prefix must re-certify."""
+        self._paranoid_upto = 0
+        self._certifier = None
+        self._certified_timeline = 0
+
     def _paranoid_check(self) -> None:
         """Certify the produced history against the offline checker.
 
         Incremental: appending an event leaves all earlier prefixes
-        unchanged, so only the prefixes beyond the certified watermark
-        are re-reduced.  A native rollback rewrites the past (the
-        rolled-back event vanishes from every prefix), which resets the
-        watermark to zero — :meth:`_rollback_prepared` does that.
+        unchanged, so only timeline entries beyond the certified
+        watermark are fed to the :class:`~repro.core.reduction.
+        PrefixCertifier`, which keeps the growing history and the
+        per-process replica states across prefixes instead of
+        re-replaying the whole history per prefix.  A native rollback
+        rewrites the past (the rolled-back event vanishes from every
+        prefix), which discards the certifier — :meth:`_reset_certifier`.
         """
-        history = self.history()
-        from repro.core.reduction import reduce_schedule
+        from time import perf_counter
 
-        for length in range(self._paranoid_upto, len(history) + 1):
-            result = reduce_schedule(history.prefix(length))
+        from repro.core.reduction import PrefixCertifier
+
+        started = perf_counter()
+        if self._certifier is None:
+            self._certifier = PrefixCertifier(self.conflicts)
+            self._certified_timeline = 0
+        certifier = self._certifier
+        for index in range(self._certified_timeline, len(self._timeline)):
+            kind, payload = self._timeline[index]
+            if kind == "activity":
+                entry = self._log[payload]  # type: ignore[index]
+                if entry.rolled_back:
+                    continue  # excluded from the certified history
+                event = entry.event
+            else:
+                event = payload  # type: ignore[assignment]
+            certifier.add_process(
+                self._managed[event.process_id].instance.process
+            )
+            result = certifier.observe(event)
+            self.perf.certified_prefixes += 1
             if not result.is_reducible:
                 raise CorrectnessViolation(
-                    f"paranoid check failed: prefix of length {length} of "
-                    f"the produced history is not reducible ({result})"
+                    f"paranoid check failed: prefix of length "
+                    f"{len(certifier)} of the produced history is not "
+                    f"reducible ({result})"
                 )
-        self._paranoid_upto = len(history) + 1
+        self._certified_timeline = len(self._timeline)
+        self._paranoid_upto = len(certifier) + 1
+        self.perf.certify_ms += (perf_counter() - started) * 1000.0
 
     def _wal(self, record: Dict[str, object]) -> None:
         if self.wal is None or self._replaying:
@@ -1996,6 +2287,18 @@ class TransactionalProcessScheduler:
     # ------------------------------------------------------------------
     # instrumentation
     # ------------------------------------------------------------------
+
+    def perf_snapshot(self) -> Dict[str, float]:
+        """Perf counters of the incremental core, plus the conflict
+        cache statistics when the relation exposes them."""
+        values = self.perf.snapshot()
+        lookups = getattr(self.conflicts, "lookups", None)
+        if lookups is not None:
+            values["conflict_lookups"] = lookups
+            values["conflict_cache_hits"] = getattr(
+                self.conflicts, "cache_hits", 0
+            )
+        return values
 
     def add_listener(
         self, listener: Callable[[str, Dict[str, object]], None]

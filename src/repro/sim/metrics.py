@@ -79,6 +79,11 @@ class RunMetrics:
     #: ``(virtual time, admission queue depth)`` samples, recorded by
     #: the simulation runner whenever the depth changes.
     queue_depth_series: List[tuple] = field(default_factory=list)
+    #: Perf counters of the scheduler's incremental core (conflict
+    #: lookups and cache hits, index hits, graph-edge updates,
+    #: certification time — see ``repro.core.perf``); empty for
+    #: schedulers that do not expose ``perf_snapshot()``.
+    perf: Dict[str, float] = field(default_factory=dict)
     #: Offline correctness grades (filled by the benchmark harness).
     serializable: Optional[bool] = None
     process_recoverable: Optional[bool] = None
@@ -180,6 +185,29 @@ class RunMetrics:
             "starved": self.starvation_boosts,
             "livelocks": self.livelock_escalations,
             "pred": self.prefix_reducible,
+        }
+
+    def perf_row(self) -> Dict[str, object]:
+        """Flat row of the incremental-core perf counters (X11 tables)."""
+        ops = max(self.activities_dispatched, 1)
+        lookups = self.perf.get("conflict_lookups", 0)
+        hits = self.perf.get("conflict_cache_hits", 0)
+        return {
+            "scheduler": self.scheduler_name,
+            "dispatched": self.activities_dispatched,
+            "conflict_lookups": int(lookups),
+            "lookups_per_op": round(lookups / ops, 1),
+            "cache_hit_rate": round(hits / lookups, 3) if lookups else 0.0,
+            "index_lookups": int(self.perf.get("index_lookups", 0)),
+            "edge_updates": int(self.perf.get("edge_updates", 0)),
+            "edges_per_op": round(
+                self.perf.get("edge_updates", 0) / ops, 1
+            ),
+            "topo_shifts": int(self.perf.get("topo_shifts", 0)),
+            "cycle_fast": int(self.perf.get("cycle_fast_path", 0)),
+            "cycle_dfs": int(self.perf.get("cycle_dfs", 0)),
+            "certified": int(self.perf.get("certified_prefixes", 0)),
+            "certify_ms": round(self.perf.get("certify_ms", 0.0), 2),
         }
 
     def resilience_row(self) -> Dict[str, object]:

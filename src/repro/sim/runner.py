@@ -26,7 +26,7 @@ The runner drives any scheduler exposing the uniform stepping interface
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Set
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.instance import ActionType
 from repro.core.process import Process
@@ -108,6 +108,11 @@ class SimulationRunner:
         self.queue = EventQueue()
         self._in_flight: List[_InFlight] = []
         self._busy: Set[str] = set()
+        #: Pairwise service-conflict memo for the strong-order gate,
+        #: dropped whenever the conflict relation's version moves
+        #: (mid-run declare/retract/register).
+        self._conflict_memo: Dict[Tuple[str, str], bool] = {}
+        self._conflict_memo_version: Optional[int] = None
         #: instance id -> virtual arrival time; before it, the instance
         #: is not dispatched (open-system workloads).  Unlisted
         #: instances arrive at time 0.
@@ -138,12 +143,21 @@ class SimulationRunner:
         definition = managed.instance.definition(action.activity)
         service = definition.service
         assert service is not None
+        relation = self.scheduler.conflicts
+        version = getattr(relation, "version", 0)
+        if version != self._conflict_memo_version:
+            self._conflict_memo_version = version
+            self._conflict_memo.clear()
+        memo = self._conflict_memo
         for flight in self._in_flight:
             if flight.process_id == pid:
                 continue
-            if self.scheduler.conflicts.conflicts(
-                flight.conflict_service, service
-            ):
+            key = (flight.conflict_service, service)
+            conflicting = memo.get(key)
+            if conflicting is None:
+                conflicting = relation.conflicts(*key)
+                memo[key] = conflicting
+            if conflicting:
                 return True
         return False
 
@@ -313,6 +327,9 @@ class SimulationRunner:
         return on_finish
 
     def _fill_stats(self, metrics: RunMetrics) -> None:
+        perf_snapshot = getattr(self.scheduler, "perf_snapshot", None)
+        if callable(perf_snapshot):
+            metrics.perf = perf_snapshot()
         stats = getattr(self.scheduler, "stats", None)
         if stats is None:
             return

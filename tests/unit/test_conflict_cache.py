@@ -1,0 +1,151 @@
+"""Conflict-lookup caching must be invisible (ISSUE 4 satellite).
+
+The hot admission path memoises conflict lookups at three layers —
+``normalize_service`` (lru_cache), the :class:`UnionConflicts` per-pair
+boolean cache, and push-based invalidation when a child relation
+mutates.  Every cached answer must equal the uncached one, across
+forward and compensation service names, and across mid-stream
+``declare`` / ``retract`` / ``register`` mutations.
+"""
+
+import itertools
+
+from repro.core.activity import COMPENSATION_SUFFIX
+from repro.core.conflict import (
+    AllConflicts,
+    ExplicitConflicts,
+    NoConflicts,
+    ReadWriteConflicts,
+    UnionConflicts,
+)
+
+SERVICES = ["book_flight", "book_hotel", "charge_card", "audit_log"]
+NAMES = SERVICES + [service + COMPENSATION_SUFFIX for service in SERVICES]
+
+
+def _uncached_union(relations):
+    """Reference: evaluate the union without any pair cache."""
+
+    class Reference:
+        def conflicts(self, a, b):
+            return any(r.conflicts(a, b) for r in relations)
+
+    return Reference()
+
+
+def _build_children():
+    explicit = ExplicitConflicts([("book_flight", "book_hotel")])
+    semantic = ReadWriteConflicts()
+    semantic.register("charge_card", reads=["account"], writes=["balance"])
+    semantic.register("audit_log", reads=["balance"])
+    return explicit, semantic
+
+
+class TestUnionCacheAgreesWithUncached:
+    def test_all_pairs_forward_and_compensation(self):
+        explicit, semantic = _build_children()
+        union = UnionConflicts((explicit, semantic))
+        reference = _uncached_union((explicit, semantic))
+        # Ask twice: first call fills the cache, second must serve the
+        # identical answer from it.
+        for _ in range(2):
+            for a, b in itertools.product(NAMES, NAMES):
+                assert union.conflicts(a, b) == reference.conflicts(a, b), (
+                    f"cache drift on ({a!r}, {b!r})"
+                )
+        assert union.cache_hits > 0
+
+    def test_symmetric_pair_is_one_cache_entry(self):
+        explicit, _ = _build_children()
+        union = UnionConflicts((explicit,))
+        union.conflicts("book_flight", "book_hotel")
+        hits_before = union.cache_hits
+        union.conflicts("book_hotel", "book_flight")
+        assert union.cache_hits == hits_before + 1
+
+    def test_compensation_names_share_forward_entries(self):
+        explicit, _ = _build_children()
+        union = UnionConflicts((explicit,))
+        union.conflicts("book_flight", "book_hotel")
+        hits_before = union.cache_hits
+        assert union.conflicts(
+            "book_flight" + COMPENSATION_SUFFIX,
+            "book_hotel" + COMPENSATION_SUFFIX,
+        )
+        assert union.cache_hits == hits_before + 1
+
+
+class TestPushInvalidation:
+    def test_declare_after_caching_is_visible(self):
+        explicit, semantic = _build_children()
+        union = UnionConflicts((explicit, semantic))
+        assert not union.conflicts("book_flight", "charge_card")
+        explicit.declare("book_flight", "charge_card")
+        assert union.conflicts("book_flight", "charge_card")
+
+    def test_retract_after_caching_is_visible(self):
+        explicit, _ = _build_children()
+        union = UnionConflicts((explicit,))
+        assert union.conflicts("book_flight", "book_hotel")
+        explicit.retract("book_flight", "book_hotel")
+        assert not union.conflicts("book_flight", "book_hotel")
+
+    def test_register_extends_cached_semantics(self):
+        _, semantic = _build_children()
+        union = UnionConflicts((semantic,))
+        assert not union.conflicts("audit_log", "book_flight")
+        semantic.register("book_flight", writes=["balance"])
+        assert union.conflicts("audit_log", "book_flight")
+
+    def test_noop_mutations_keep_the_cache_warm(self):
+        explicit, semantic = _build_children()
+        union = UnionConflicts((explicit, semantic))
+        union.conflicts("book_flight", "book_hotel")
+        version = union.version
+        explicit.declare("book_flight", "book_hotel")  # already declared
+        semantic.register("charge_card", reads=["account"])  # already merged
+        assert union.version == version
+        hits_before = union.cache_hits
+        union.conflicts("book_flight", "book_hotel")
+        assert union.cache_hits == hits_before + 1
+
+    def test_version_monotone_across_mutations(self):
+        explicit, semantic = _build_children()
+        union = UnionConflicts((explicit, semantic))
+        seen = [union.version]
+        explicit.declare("audit_log", "book_hotel")
+        seen.append(union.version)
+        semantic.register("book_hotel", writes=["rooms"])
+        seen.append(union.version)
+        explicit.retract("audit_log", "book_hotel")
+        seen.append(union.version)
+        assert seen == sorted(seen) and len(set(seen)) == len(seen)
+
+
+class TestUnionFlattening:
+    def test_nested_unions_flatten_and_stay_correct(self):
+        explicit, semantic = _build_children()
+        nested = UnionConflicts(
+            (UnionConflicts((explicit,)), UnionConflicts((semantic,)))
+        )
+        reference = _uncached_union((explicit, semantic))
+        for a, b in itertools.product(NAMES, NAMES):
+            assert nested.conflicts(a, b) == reference.conflicts(a, b)
+        # Mutating a grandchild still invalidates the flattened union.
+        assert not nested.conflicts("book_flight", "audit_log")
+        explicit.declare("book_flight", "audit_log")
+        assert nested.conflicts("book_flight", "audit_log")
+
+    def test_or_operator_builds_cached_union(self):
+        explicit, semantic = _build_children()
+        union = explicit | semantic
+        assert isinstance(union, UnionConflicts)
+        assert union.conflicts("book_flight", "book_hotel")
+        assert union.conflicts("charge_card", "audit_log")
+        assert not union.conflicts("book_flight", "audit_log")
+
+    def test_immutable_members_never_bump(self):
+        union = UnionConflicts((NoConflicts(), AllConflicts()))
+        version = union.version
+        assert union.conflicts("a", "b")
+        assert union.version == version

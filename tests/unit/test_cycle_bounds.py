@@ -1,0 +1,141 @@
+"""Liveness-check peel and bounded cycle enumeration (ISSUE 4 satellite).
+
+``_find_wait_cycle`` must identify exactly the processes on (or
+feeding) a wait cycle with a single Kahn-style peel, and
+``ProcessSchedule.cycles()`` must stay polynomial on pathological
+graphs by capping witness count and search budget, flagging truncation
+explicitly.
+"""
+
+from types import SimpleNamespace
+
+from repro.core.activity import ActivityDef, ActivityKind
+from repro.core.conflict import AllConflicts, ExplicitConflicts
+from repro.core.process import Process
+from repro.core.schedule import CycleWitnesses, ProcessSchedule
+from repro.core.scheduler import TransactionalProcessScheduler
+
+
+def _scheduler():
+    return TransactionalProcessScheduler(conflicts=ExplicitConflicts())
+
+
+def _waiting(waits):
+    """Fake the WAITING slice of the managed map: only ``waiting_for``
+    is consulted by the liveness check."""
+    return {
+        pid: SimpleNamespace(waiting_for=frozenset(targets))
+        for pid, targets in waits.items()
+    }
+
+
+class TestFindWaitCycle:
+    def test_empty_map_has_no_cycle(self):
+        assert _scheduler()._find_wait_cycle({}) == set()
+
+    def test_chain_is_fully_peeled(self):
+        waits = _waiting({"A": {"B"}, "B": {"C"}, "C": set()})
+        assert _scheduler()._find_wait_cycle(waits) == set()
+
+    def test_two_cycle_survives_peel(self):
+        waits = _waiting({"A": {"B"}, "B": {"A"}})
+        assert _scheduler()._find_wait_cycle(waits) == {"A", "B"}
+
+    def test_tail_feeding_a_cycle_is_reported_with_it(self):
+        # D waits on the A-B-C cycle but is not on it; the peel works
+        # from out-degree zero, so D (which can never be unblocked
+        # either) stays alive together with the cycle.
+        waits = _waiting(
+            {"A": {"B"}, "B": {"C"}, "C": {"A"}, "D": {"A"}}
+        )
+        assert _scheduler()._find_wait_cycle(waits) == {"A", "B", "C", "D"}
+
+    def test_branch_that_resolves_is_peeled_off_the_cycle(self):
+        # E waits on F which waits on nothing: both peel away even
+        # though a disjoint cycle exists elsewhere.
+        waits = _waiting(
+            {"A": {"B"}, "B": {"A"}, "E": {"F"}, "F": set()}
+        )
+        assert _scheduler()._find_wait_cycle(waits) == {"A", "B"}
+
+    def test_waits_on_non_waiting_processes_are_ignored(self):
+        # B's target is not in the waiting map (it is running), so the
+        # edge does not count and everything peels.
+        waits = _waiting({"A": {"B"}, "B": {"Z"}})
+        assert _scheduler()._find_wait_cycle(waits) == set()
+
+    def test_self_wait_is_a_cycle(self):
+        waits = _waiting({"A": {"A"}})
+        assert _scheduler()._find_wait_cycle(waits) == {"A"}
+
+    def test_large_chain_peels_completely(self):
+        chain = {f"P{i}": {f"P{i + 1}"} for i in range(200)}
+        chain["P200"] = set()
+        assert _scheduler()._find_wait_cycle(_waiting(chain)) == set()
+
+
+def _dense_schedule(processes: int, activities: int) -> ProcessSchedule:
+    """Every activity conflicts with every other and rounds alternate
+    process order, so the serialization graph is a complete digraph
+    with combinatorially many simple cycles."""
+    templates = []
+    for p in range(processes):
+        defs = [
+            ActivityDef(
+                f"a{i}", ActivityKind.COMPENSATABLE, service=f"s{p}_{i}"
+            )
+            for i in range(activities)
+        ]
+        templates.append(Process(f"T{p}", defs))
+    schedule = ProcessSchedule(templates, AllConflicts())
+    for i in range(activities):
+        order = range(processes) if i % 2 == 0 else reversed(range(processes))
+        for p in order:
+            schedule.record(f"T{p}", f"a{i}")
+    return schedule
+
+
+class TestBoundedCycles:
+    def test_acyclic_graph_reports_no_cycles_untruncated(self):
+        schedule = _dense_schedule(1, 3)
+        cycles = schedule.cycles()
+        assert cycles == []
+        assert not cycles.truncated
+
+    def test_simple_cycle_is_found_untruncated(self):
+        schedule = _dense_schedule(2, 2)
+        cycles = schedule.cycles()
+        assert cycles
+        assert not cycles.truncated
+        for cycle in cycles:
+            assert cycle[0] == cycle[-1]
+            assert set(cycle) <= {"T0", "T1"}
+
+    def test_limit_caps_witness_count(self):
+        schedule = _dense_schedule(6, 3)
+        cycles = schedule.cycles(limit=5)
+        assert len(cycles) <= 5
+        assert cycles.truncated
+
+    def test_budget_caps_search_steps(self):
+        schedule = _dense_schedule(6, 3)
+        cycles = schedule.cycles(budget=100)
+        assert cycles.truncated
+
+    def test_pathological_graph_stays_fast(self):
+        import time
+
+        schedule = _dense_schedule(9, 4)
+        start = time.perf_counter()
+        cycles = schedule.cycles()
+        elapsed = time.perf_counter() - start
+        assert cycles.truncated
+        assert len(cycles) <= 64
+        # The un-bounded enumeration would be astronomically larger
+        # than the budget; the bound keeps this interactive.
+        assert elapsed < 5.0
+
+    def test_witnesses_is_a_plain_list_subclass(self):
+        cycles = CycleWitnesses([("A", "B", "A")])
+        assert cycles == [("A", "B", "A")]
+        assert not cycles.truncated
