@@ -1,0 +1,165 @@
+"""X12 — observability overhead on the X7 hot path.
+
+The tracing contract is *zero-cost when disabled*: every emit site
+guards ``trace is not None and trace.enabled`` before constructing any
+event, payload or string, so a scheduler without a bus (or with a bus
+and no sinks) pays one attribute test per instrumented site.  Enabled
+tracing (an in-memory sink capturing every event) must stay within 5%
+of the disabled hot path.
+
+Methodology: the X7 12-process workload (seed 21, conflict rate 0.05),
+min-of-N wall clock per configuration — min is the right estimator for
+"cost of the code path" because scheduling noise only ever adds time.
+Three configurations:
+
+* ``baseline`` — no trace bus at all (the PR4 state of the world);
+* ``disabled`` — bus attached, no sinks subscribed (guards present);
+* ``enabled``  — memory sink subscribed, every event captured.
+
+Acceptance gates (ISSUE 5):
+
+* disabled tracing is indistinguishable from no bus: within 5% of the
+  baseline (with a small absolute epsilon for timer jitter) and inside
+  X7's 1.5 ms/activity CI budget;
+* enabled tracing costs at most 5% over disabled (same epsilon).
+
+Raw numbers are persisted to ``benchmarks/results/BENCH_X12.json``.
+"""
+
+import json
+import os
+import time
+
+from repro.core.scheduler import TransactionalProcessScheduler
+from repro.obs import MemorySink, TraceBus
+from repro.sim.runner import simulate_run
+from repro.sim.workload import WorkloadSpec, generate_workload
+
+PROCESSES = 12
+ROUNDS = 5
+
+#: The ISSUE 5 overhead gate: enabled ≤ 1.05x disabled.
+OVERHEAD_LIMIT = 1.05
+
+#: Absolute jitter allowance [s] on top of the relative gate — sub-ms
+#: wall clocks on CI runners are noisy below this scale.
+EPSILON_S = 0.010
+
+#: X7's 12-process CI budget; the disabled path must stay inside it.
+X7_BUDGET_12_PROC_MS = 1.5
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def _run_once(mode):
+    spec = WorkloadSpec(
+        processes=PROCESSES, conflict_rate=0.05, failure_rate=0.0, seed=21
+    )
+    workload = generate_workload(spec)
+    trace = None
+    sink = None
+    if mode in ("disabled", "enabled"):
+        trace = TraceBus()
+        if mode == "enabled":
+            sink = trace.subscribe(MemorySink())
+    scheduler = TransactionalProcessScheduler(
+        conflicts=workload.conflicts, trace=trace
+    )
+    for process in workload.processes:
+        scheduler.submit(process)
+    start = time.perf_counter()
+    metrics = simulate_run(scheduler, durations=workload.duration)
+    elapsed = time.perf_counter() - start
+    return scheduler, metrics, elapsed, sink
+
+
+def measure(mode, rounds=ROUNDS):
+    """Min-of-N wall clock for one configuration, plus run facts."""
+    best = None
+    scheduler = metrics = sink = None
+    for _ in range(rounds):
+        scheduler, metrics, elapsed, sink = _run_once(mode)
+        best = elapsed if best is None else min(best, elapsed)
+    dispatched = max(int(scheduler.stats["dispatched"]), 1)
+    return {
+        "mode": mode,
+        "wall_s": best,
+        "wall_ms": round(best * 1000.0, 3),
+        "per_activity_ms": round(best * 1000.0 / dispatched, 4),
+        "activities": dispatched,
+        "committed": metrics.processes_committed,
+        "events": len(sink) if sink is not None else 0,
+    }
+
+
+def _assert_gates(baseline, disabled, enabled):
+    assert disabled["wall_s"] <= baseline["wall_s"] * OVERHEAD_LIMIT + EPSILON_S, (
+        f"disabled tracing is not free: {disabled['wall_ms']} ms vs "
+        f"baseline {baseline['wall_ms']} ms"
+    )
+    assert disabled["per_activity_ms"] <= X7_BUDGET_12_PROC_MS, (
+        f"disabled-trace hot path {disabled['per_activity_ms']} ms/activity "
+        f"blew the X7 budget of {X7_BUDGET_12_PROC_MS} ms"
+    )
+    assert enabled["wall_s"] <= disabled["wall_s"] * OVERHEAD_LIMIT + EPSILON_S, (
+        f"enabled tracing overhead too high: {enabled['wall_ms']} ms vs "
+        f"disabled {disabled['wall_ms']} ms "
+        f"(limit {OVERHEAD_LIMIT}x + {EPSILON_S * 1000:.0f} ms)"
+    )
+    # the enabled run must actually have captured the full stream
+    assert enabled["events"] > 0
+    # identical scheduling outcomes: tracing must not change decisions
+    assert baseline["activities"] == disabled["activities"] == enabled["activities"]
+    assert baseline["committed"] == disabled["committed"] == enabled["committed"]
+
+
+def test_x12_trace_overhead(benchmark, report):
+    baseline = measure("baseline")
+    disabled = measure("disabled")
+    enabled = measure("enabled")
+    _assert_gates(baseline, disabled, enabled)
+    rows = [
+        {
+            "configuration": row["mode"],
+            "wall [ms]": row["wall_ms"],
+            "per activity [ms]": row["per_activity_ms"],
+            "events captured": row["events"],
+            "vs baseline": (
+                f"{row['wall_s'] / max(baseline['wall_s'], 1e-9):.3f}x"
+            ),
+        }
+        for row in (baseline, disabled, enabled)
+    ]
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(
+        os.path.join(RESULTS_DIR, "BENCH_X12.json"), "w", encoding="utf-8"
+    ) as handle:
+        json.dump(
+            {
+                "experiment": "X12",
+                "processes": PROCESSES,
+                "seed": 21,
+                "rounds": ROUNDS,
+                "overhead_limit": OVERHEAD_LIMIT,
+                "configurations": [baseline, disabled, enabled],
+            },
+            handle,
+            indent=2,
+        )
+        handle.write("\n")
+    benchmark.pedantic(_run_once, args=("enabled",), rounds=3, iterations=1)
+    report(
+        rows,
+        title=(
+            "X12 — tracing overhead on the X7 12-process hot path "
+            "(min of %d)" % ROUNDS
+        ),
+    )
+
+
+def test_x12_overhead_smoke():
+    """CI gate: no benchmark fixtures; fewer rounds, same acceptance."""
+    baseline = measure("baseline", rounds=3)
+    disabled = measure("disabled", rounds=3)
+    enabled = measure("enabled", rounds=3)
+    _assert_gates(baseline, disabled, enabled)

@@ -61,6 +61,14 @@ Sub-packages
     report tables.
 """
 
+import logging as _logging
+
+# Library logging etiquette: the package logger stays silent unless the
+# embedding application configures handlers.  Structured observability
+# goes through repro.obs (TraceBus / LoggingSink), not print or ad-hoc
+# module logging.
+_logging.getLogger("repro").addHandler(_logging.NullHandler())
+
 from repro.core.activity import ActivityDef, ActivityId, ActivityKind, Direction
 from repro.core.conflict import (
     AllConflicts,

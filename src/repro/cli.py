@@ -46,6 +46,18 @@ Commands
     shed-youngest-B-REC load shedding.  Prints the goodput/latency/
     shed table per offered load; exits non-zero unless every run
     certifies with zero F-REC sheds and positive goodput.
+
+``explain <trace.jsonl> [target]``
+    Explain the last blocking/rejecting/aborting decision recorded in
+    an exported trace: the protocol rule that fired (Lemma 1/2/3,
+    admission policy, breaker) and the concrete conflicting
+    predecessors.  ``--check`` validates the stream against the event
+    schema first.
+
+The run commands (``workload``, ``chaos``, ``overload``,
+``crashpoints``) all accept ``--trace PATH`` (structured JSONL trace),
+``--chrome-trace PATH`` (Chrome/Perfetto trace-event JSON) and
+``--metrics PATH`` (Prometheus text format).
 """
 
 from __future__ import annotations
@@ -74,6 +86,17 @@ from repro.core.serialize import (
     schedule_from_dict,
 )
 from repro.errors import ReproError
+from repro.obs import (
+    JsonlSink,
+    MemorySink,
+    MetricsRegistry,
+    TraceBus,
+    explain_trace,
+    read_trace,
+    validate_stream,
+    write_chrome_trace,
+    write_prometheus,
+)
 from repro.sim.runner import simulate_run
 from repro.sim.workload import WorkloadSpec, generate_workload
 
@@ -84,6 +107,73 @@ SCHEDULERS = {
     "flat": FlatScheduler,
     "optimistic": OptimisticScheduler,
 }
+
+
+class _ObsSession:
+    """CLI-side observability wiring shared by the run commands.
+
+    Owns one trace bus and one metrics registry for the whole command
+    (a sweep's runs share them, so sequence numbers stay monotone and
+    metrics aggregate); :meth:`finish` writes the requested exports.
+    """
+
+    def __init__(self, args: argparse.Namespace) -> None:
+        self.trace_path = getattr(args, "trace", None)
+        self.chrome_path = getattr(args, "chrome_trace", None)
+        self.metrics_path = getattr(args, "metrics", None)
+        self.registry = MetricsRegistry() if self.metrics_path else None
+        self.bus: Optional[TraceBus] = None
+        self._memory: Optional[MemorySink] = None
+        if self.trace_path or self.chrome_path:
+            self.bus = TraceBus()
+            if self.trace_path:
+                self.bus.subscribe(JsonlSink(self.trace_path))
+            if self.chrome_path:
+                self._memory = self.bus.subscribe(MemorySink())
+
+    @property
+    def active(self) -> bool:
+        return self.bus is not None or self.registry is not None
+
+    def emit(self, kind: str, **data: object) -> None:
+        if self.bus is not None and self.bus.enabled:
+            self.bus.emit(kind, **data)  # type: ignore[arg-type]
+
+    def finish(self) -> List[str]:
+        """Write export files; returns one note per artefact written."""
+        notes: List[str] = []
+        if self.bus is not None:
+            if self._memory is not None:
+                write_chrome_trace(self.chrome_path, self._memory.records())
+                notes.append(f"wrote chrome trace: {self.chrome_path}")
+            self.bus.close()
+            if self.trace_path:
+                notes.append(f"wrote trace: {self.trace_path}")
+        if self.registry is not None:
+            write_prometheus(self.metrics_path, self.registry)
+            notes.append(f"wrote metrics: {self.metrics_path}")
+        return notes
+
+
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a structured JSONL trace of the run",
+    )
+    parser.add_argument(
+        "--chrome-trace",
+        metavar="PATH",
+        default=None,
+        help="write a Chrome/Perfetto trace-event JSON file",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="write Prometheus text-format metrics",
+    )
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
@@ -167,12 +257,39 @@ def _cmd_workload(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     workload = generate_workload(spec)
+    obs = _ObsSession(args)
     scheduler_cls = SCHEDULERS[args.scheduler]
-    scheduler = scheduler_cls(conflicts=workload.conflicts)
+    if args.scheduler == "pred":
+        scheduler = scheduler_cls(
+            conflicts=workload.conflicts,
+            trace=obs.bus,
+            metrics=obs.registry,
+        )
+    else:
+        if obs.active:
+            print(
+                "note: --trace/--chrome-trace/--metrics instrument the "
+                "pred scheduler; baseline disciplines emit no events",
+                file=sys.stderr,
+            )
+        scheduler = scheduler_cls(conflicts=workload.conflicts)
     for process in workload.processes:
         scheduler.submit(process, failures=workload.failures)
+    obs.emit(
+        "run_begin", harness="workload", seed=args.seed,
+        scheduler=args.scheduler,
+    )
     metrics = simulate_run(
         scheduler, durations=workload.duration, order=args.order
+    )
+    obs.emit(
+        "run_end",
+        harness="workload",
+        seed=args.seed,
+        scheduler=args.scheduler,
+        committed=metrics.processes_committed,
+        aborted=metrics.processes_aborted,
+        makespan=metrics.makespan,
     )
     history = scheduler.history()
     try:
@@ -194,6 +311,8 @@ def _cmd_workload(args: argparse.Namespace) -> int:
     if args.show_history:
         print()
         print(render_schedule(history))
+    for note in obs.finish():
+        print(note, file=sys.stderr)
     return 0
 
 
@@ -280,13 +399,21 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         )
         for spec in mixes
     ]
+    obs = _ObsSession(args)
     try:
         results = chaos_sweep(
-            mixes=mixes, seeds=args.seeds, certify=not args.no_certify
+            mixes=mixes,
+            seeds=args.seeds,
+            certify=not args.no_certify,
+            trace=obs.bus,
+            metrics=obs.registry,
         )
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    finally:
+        for note in obs.finish():
+            print(note, file=sys.stderr)
     print(
         format_table(
             [result.row() for result in results],
@@ -320,12 +447,20 @@ def _cmd_crashpoints(args: argparse.Namespace) -> int:
         stride=args.stride,
         recovery_stride=args.recovery_stride,
     )
-    sweeps = [
-        run_crashpoints(
-            base.with_seed(seed), file_faults=not args.no_file_faults
-        )
-        for seed in args.seeds
-    ]
+    obs = _ObsSession(args)
+    try:
+        sweeps = [
+            run_crashpoints(
+                base.with_seed(seed),
+                file_faults=not args.no_file_faults,
+                trace=obs.bus,
+                metrics=obs.registry,
+            )
+            for seed in args.seeds
+        ]
+    finally:
+        for note in obs.finish():
+            print(note, file=sys.stderr)
     print(
         format_table(
             [sweep.row() for sweep in sweeps],
@@ -370,13 +505,22 @@ def _cmd_overload(args: argparse.Namespace) -> int:
     else:
         capacity = estimate_capacity(base)
         loads = [capacity * factor for factor in (0.5, 1.0, 2.0, 4.0)]
+    obs = _ObsSession(args)
     try:
         results = overload_sweep(
-            loads, base=base, seeds=args.seeds, certify=not args.no_certify
+            loads,
+            base=base,
+            seeds=args.seeds,
+            certify=not args.no_certify,
+            trace=obs.bus,
+            metrics=obs.registry,
         )
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    finally:
+        for note in obs.finish():
+            print(note, file=sys.stderr)
     title = "overload sweep"
     if capacity is not None:
         title += f" (capacity ~ {capacity:.3f} proc/t)"
@@ -397,6 +541,34 @@ def _cmd_overload(args: argparse.Namespace) -> int:
         and productive == len(results)
     )
     return 0 if healthy else 1
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    records = read_trace(args.trace)
+    if args.check:
+        errors = validate_stream(records)
+        if errors:
+            for line in errors[:20]:
+                print(f"invalid: {line}", file=sys.stderr)
+            if len(errors) > 20:
+                print(
+                    f"... and {len(errors) - 20} more problems",
+                    file=sys.stderr,
+                )
+            return 1
+        print(f"trace OK: {len(records)} events")
+        if args.target is None:
+            return 0
+    explanation = explain_trace(records, target=args.target)
+    if explanation is None:
+        who = args.target or "any process"
+        print(
+            f"no blocking/rejecting/aborting decision recorded for {who}",
+            file=sys.stderr,
+        )
+        return 1
+    print(explanation.render())
+    return 0
 
 
 def _cmd_dot(args: argparse.Namespace) -> int:
@@ -456,6 +628,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(conflict-cache hits, index lookups, graph/topo maintenance, "
         "certification cost)",
     )
+    _add_obs_arguments(workload)
     workload.set_defaults(handler=_cmd_workload)
 
     demo = commands.add_parser("demo", help="run the CIM demonstration")
@@ -546,6 +719,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="report instead of raising when a run fails certification",
     )
+    _add_obs_arguments(chaos)
     chaos.set_defaults(handler=_cmd_chaos)
 
     crashpoints = commands.add_parser(
@@ -587,6 +761,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the torn-tail / bit-flip FileWAL torture",
     )
+    _add_obs_arguments(crashpoints)
     crashpoints.set_defaults(handler=_cmd_crashpoints)
 
     overload = commands.add_parser(
@@ -634,7 +809,28 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="report instead of raising when a run fails certification",
     )
+    _add_obs_arguments(overload)
     overload.set_defaults(handler=_cmd_overload)
+
+    explain = commands.add_parser(
+        "explain",
+        help="explain a scheduling decision from an exported trace",
+    )
+    explain.add_argument(
+        "trace", help="path to a JSONL trace (from a --trace run)"
+    )
+    explain.add_argument(
+        "target",
+        nargs="?",
+        default=None,
+        help="process or activity id (default: first blocked process)",
+    )
+    explain.add_argument(
+        "--check",
+        action="store_true",
+        help="validate the trace against the event schema first",
+    )
+    explain.set_defaults(handler=_cmd_explain)
     return parser
 
 

@@ -1,72 +1,107 @@
 """Perf counters for the incremental scheduling core.
 
-A tiny mutable counter bag the scheduler and the incremental
-serialization graph thread their hot-path statistics through: conflict
-lookups and cache hits, inverted-index queries vs. legacy log scans,
-graph-edge multiset updates, topological-order maintenance work, and
-paranoid-certification cost.  The counters make the incremental core
-*observable* — benchmarks (X11) and the CLI ``--perf-counters`` flag
-render them, and regressions show up as counter blow-ups long before
-they show up as wall time.
+Since the observability layer landed there is **one** counter system:
+:class:`PerfCounters` is a thin facade over a
+:class:`repro.obs.metrics.MetricsRegistry`.  Each field
+(``index_lookups``, ``edge_updates``, ...) is a registry-owned
+:class:`~repro.obs.metrics.Counter` registered under ``perf.<field>``;
+counters implement the numeric protocol, so the hot-path call sites
+(``perf.edge_updates += 1``) and test assertions (``perf.log_scans ==
+0``) are unchanged, while the same numbers export through the
+registry's snapshot and Prometheus surfaces.
+
+:meth:`snapshot` keeps its historical flat layout — benchmarks (X11),
+``RunMetrics.perf_row`` and the CLI ``--perf-counters`` flag all render
+it unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
+
+from repro.obs.metrics import Counter, MetricsRegistry
 
 __all__ = ["PerfCounters"]
 
 
-@dataclass
 class PerfCounters:
     """Counters of the scheduler's per-operation work.
 
     All counts are cumulative over the scheduler's lifetime; use
     :meth:`snapshot` to export them (merged with the conflict-relation
     cache statistics the scheduler adds).
+
+    Fields
+    ------
+    ``index_lookups``
+        Indexed dependency queries (conflicting predecessors/
+        successors, last-effective lookups) answered from the inverted
+        indexes.
+    ``log_scans``
+        Legacy full-log scans (shadow/rebuild paths only).
+    ``edge_updates``
+        Edge-multiset count adjustments (increments and decrements).
+    ``graph_events``
+        Events added to / removed from the incremental graph.
+    ``graph_rebuilds``
+        Full from-scratch rebuilds (conflict-relation mutation only).
+    ``topo_shifts``
+        Pearce–Kelly local reorders of the topological order.
+    ``topo_recomputes``
+        Full Kahn recomputations of the topological order.
+    ``cycle_fast_path``
+        Cycle checks settled by the topological-order fast path.
+    ``cycle_dfs``
+        Cycle checks that needed the DFS fallback.
+    ``certified_prefixes``
+        Prefixes certified by incremental paranoid-mode certification.
+    ``certify_ms``
+        Wall-clock milliseconds spent certifying prefixes.
     """
 
-    #: Indexed dependency queries (conflicting predecessors/successors,
-    #: last-effective lookups) answered from the inverted indexes.
-    index_lookups: int = 0
-    #: Legacy full-log scans (shadow/rebuild paths only).
-    log_scans: int = 0
-    #: Edge-multiset count adjustments (increments and decrements).
-    edge_updates: int = 0
-    #: Events added to / removed from the incremental graph.
-    graph_events: int = 0
-    #: Full from-scratch rebuilds (conflict-relation mutation only).
-    graph_rebuilds: int = 0
-    #: Pearce–Kelly local reorders of the topological order.
-    topo_shifts: int = 0
-    #: Full Kahn recomputations of the topological order.
-    topo_recomputes: int = 0
-    #: Cycle checks settled by the topological-order fast path.
-    cycle_fast_path: int = 0
-    #: Cycle checks that needed the DFS fallback.
-    cycle_dfs: int = 0
-    #: Prefixes certified by incremental paranoid-mode certification.
-    certified_prefixes: int = 0
-    #: Wall-clock milliseconds spent certifying prefixes.
-    certify_ms: float = 0.0
-    #: Free-form extra counters (merged into snapshots).
-    extra: Dict[str, float] = field(default_factory=dict)
+    _FIELDS = (
+        "index_lookups",
+        "log_scans",
+        "edge_updates",
+        "graph_events",
+        "graph_rebuilds",
+        "topo_shifts",
+        "topo_recomputes",
+        "cycle_fast_path",
+        "cycle_dfs",
+        "certified_prefixes",
+        "certify_ms",
+    )
+
+    index_lookups: Counter
+    log_scans: Counter
+    edge_updates: Counter
+    graph_events: Counter
+    graph_rebuilds: Counter
+    topo_shifts: Counter
+    topo_recomputes: Counter
+    cycle_fast_path: Counter
+    cycle_dfs: Counter
+    certified_prefixes: Counter
+    certify_ms: Counter
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        #: The backing registry — shared with the scheduler's
+        #: observability surface when one is passed in.
+        self.registry = registry if registry is not None else MetricsRegistry()
+        for name in self._FIELDS:
+            setattr(self, name, self.registry.counter(f"perf.{name}"))
+        #: Free-form extra counters (merged into snapshots).
+        self.extra: Dict[str, float] = {}
 
     def snapshot(self) -> Dict[str, float]:
         """Export all counters as a flat name → value mapping."""
-        values: Dict[str, float] = {
-            "index_lookups": self.index_lookups,
-            "log_scans": self.log_scans,
-            "edge_updates": self.edge_updates,
-            "graph_events": self.graph_events,
-            "graph_rebuilds": self.graph_rebuilds,
-            "topo_shifts": self.topo_shifts,
-            "topo_recomputes": self.topo_recomputes,
-            "cycle_fast_path": self.cycle_fast_path,
-            "cycle_dfs": self.cycle_dfs,
-            "certified_prefixes": self.certified_prefixes,
-            "certify_ms": round(self.certify_ms, 3),
-        }
+        values: Dict[str, float] = {}
+        for name in self._FIELDS:
+            counter: Counter = getattr(self, name)
+            if name == "certify_ms":
+                values[name] = round(float(counter.value), 3)
+            else:
+                values[name] = int(counter.value)
         values.update(self.extra)
         return values

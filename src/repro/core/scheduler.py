@@ -118,6 +118,8 @@ from repro.errors import (
     UnrecoverableStateError,
 )
 from repro.core.perf import PerfCounters
+from repro.obs.explain import GRAPH_RULES, DecisionRecord
+from repro.obs.metrics import MetricsRegistry
 from repro.core.sergraph import IncrementalSerializationGraph
 from repro.resilience.manager import ResilienceManager
 from repro.subsystems.failures import FailurePolicy, NoFailures
@@ -263,6 +265,9 @@ class ManagedProcess:
     #: Memoised ``(trace_length, graph epoch, interned forward-recovery
     #: services)`` — the service set the completion would still run.
     _forward_services_cache: Optional[Tuple[int, int, FrozenSet[str]]] = None
+    #: Last blocking decision recorded about this process (see
+    #: ``repro.obs.explain``).
+    last_decision: Optional[DecisionRecord] = None
 
     @property
     def process_id(self) -> str:
@@ -308,6 +313,8 @@ class TransactionalProcessScheduler:
         checkpoint_interval: Optional[int] = None,
         admission: Optional[AdmissionConfig] = None,
         watchdogs: Optional[WatchdogConfig] = None,
+        trace: Optional[object] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.registry = registry if registry is not None else SubsystemRegistry()
         self.rules = rules if rules is not None else SchedulerRules()
@@ -347,8 +354,12 @@ class TransactionalProcessScheduler:
         self._termination_order: List[object] = []
         #: Paranoid-mode watermark: prefixes below it are certified.
         self._paranoid_upto = 0
-        #: Perf counters of the incremental core (see core/perf.py).
-        self.perf = PerfCounters()
+        #: Metrics registry: one counter system shared by the perf
+        #: facade, the admission layer and external exporters.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Perf counters of the incremental core (see core/perf.py) —
+        #: a facade over :attr:`metrics`.
+        self.perf = PerfCounters(registry=self.metrics)
         #: Incrementally maintained serialization graph + dependency
         #: indexes (see core/sergraph.py) — updated on every
         #: effectiveness transition of the log, never bulk-invalidated.
@@ -410,6 +421,17 @@ class TransactionalProcessScheduler:
             "starvation_boosts": 0,
             "livelock_escalations": 0,
         }
+        #: Last blocking decision per instance id (explainability; see
+        #: :meth:`explain` and ``repro.obs.explain``).  Rejected offers
+        #: are keyed by the offered process id — they never get an
+        #: instance.
+        self.decisions: Dict[str, DecisionRecord] = {}
+        #: Structured trace bus (``None`` → untraced; emission is
+        #: guarded on ``trace.enabled`` so a disabled bus costs one
+        #: attribute test on the hot path).
+        self._trace: Optional[object] = None
+        if trace is not None:
+            self.attach_trace(trace)
 
     # ------------------------------------------------------------------
     # submission
@@ -448,6 +470,7 @@ class TransactionalProcessScheduler:
         self._reserved_ids.discard(identifier)
         self._graph.add_process(identifier)
         self._active_version += 1
+        self._notify("submitted", process=identifier)
         self._wal({"type": "process_submit", "process": identifier})
         return identifier
 
@@ -501,6 +524,8 @@ class TransactionalProcessScheduler:
                 # Crash-stopped subsystems recover by the clock; share
                 # the resilience layer's virtual clock so outages end.
                 subsystem.clock = self.resilience.clock
+            if self._trace is not None:
+                subsystem.trace = self._trace
             self.registry.add(subsystem)
             return subsystem
         raise SchedulerError(
@@ -536,6 +561,7 @@ class TransactionalProcessScheduler:
             raise SchedulerClosedError("scheduler has been shut down")
         when = self._now() if now is None else now
         self.stats["offered"] += 1
+        self._notify("offered", process=process.process_id)
         if self.admission is None:
             identifier = self.submit(process, failures=failures)
             admitted = self._managed[identifier]
@@ -672,13 +698,35 @@ class TransactionalProcessScheduler:
 
     def _reject(self, process: Process, reason: str) -> AdmissionDecision:
         self.stats["rejected"] += 1
-        self._notify("rejected", process=process.process_id, reason=reason)
+        self.decisions[process.process_id] = DecisionRecord(
+            kind="rejected",
+            rule="admission",
+            reason=reason,
+            process=process.process_id,
+        )
+        self._notify(
+            "rejected",
+            process=process.process_id,
+            reason=reason,
+            rule="admission",
+        )
         return AdmissionDecision(AdmissionOutcome.REJECTED, None, reason)
 
     def _reject_queued(self, entry: QueuedArrival, reason: str) -> None:
         self._reserved_ids.discard(entry.instance_id)
         self.stats["rejected"] += 1
-        self._notify("rejected", process=entry.instance_id, reason=reason)
+        self.decisions[entry.instance_id] = DecisionRecord(
+            kind="rejected",
+            rule="admission",
+            reason=reason,
+            process=entry.instance_id,
+        )
+        self._notify(
+            "rejected",
+            process=entry.instance_id,
+            reason=reason,
+            rule="admission",
+        )
 
     def shed(self, instance_id: str, reason: str = "load shed") -> None:
         """Cancel an admitted process to relieve overload.
@@ -703,7 +751,12 @@ class TransactionalProcessScheduler:
         managed.shed = True
         self.shed_ids.append(instance_id)
         self.stats["shed"] += 1
-        self._notify("shed", process=instance_id, reason=reason)
+        self.decisions[instance_id] = DecisionRecord(
+            kind="shed", rule="load-shed", reason=reason, process=instance_id
+        )
+        self._notify(
+            "shed", process=instance_id, reason=reason, rule="load-shed"
+        )
         self._begin_abort(managed, reason=f"load shed: {reason}", cascade=False)
 
     def _shed_victim(self) -> Optional[ManagedProcess]:
@@ -1032,6 +1085,9 @@ class TransactionalProcessScheduler:
                     f"deferred commit: {action.activity!r} waits for the "
                     f"prepared group "
                     f"{[p.activity_name for p in managed.prepared]} to commit",
+                    rule="R4-deferred-commit",
+                    activity=action.activity,
+                    service=definition.service,
                 )
                 return False
 
@@ -1061,6 +1117,9 @@ class TransactionalProcessScheduler:
                 recovering,
                 f"recovery priority: {sorted(recovering)} compensate before "
                 f"{action.activity!r} may run",
+                rule="R6-recovery-priority",
+                activity=action.activity,
+                service=definition.service,
             )
             return False
 
@@ -1080,6 +1139,9 @@ class TransactionalProcessScheduler:
                     f"Lemma 1: non-compensatable {action.activity!r} "
                     f"deferred until active conflict predecessors "
                     f"{sorted(predecessors)} commit",
+                    rule="R3-lemma1",
+                    activity=action.activity,
+                    service=definition.service,
                 )
                 return False
 
@@ -1097,6 +1159,10 @@ class TransactionalProcessScheduler:
                     f"cycle prevention: executing {action.activity!r} would "
                     f"make the completed prefix irreducible (cycle "
                     f"{sorted(cycle)})",
+                    rule="R2-cycle-prevention",
+                    activity=action.activity,
+                    service=definition.service,
+                    detail={"cycle": sorted(cycle)},
                 )
                 return False
 
@@ -1124,6 +1190,9 @@ class TransactionalProcessScheduler:
                 managed,
                 set(),
                 f"circuit open for service {definition.service!r}",
+                rule="breaker-open",
+                activity=action.activity,
+                service=definition.service,
             )
             return False
 
@@ -1151,6 +1220,10 @@ class TransactionalProcessScheduler:
                 managed,
                 holders or set(block.holders),
                 f"lock wait on {block.key!r} held by {sorted(holders)}",
+                rule="lock-wait",
+                activity=action.activity,
+                service=definition.service,
+                detail={"lock": str(block.key)},
             )
             return False
         except TransactionAborted as failure:
@@ -1180,6 +1253,9 @@ class TransactionalProcessScheduler:
                     managed,
                     set(),
                     f"subsystem down for service {definition.service!r}",
+                    rule="unavailable",
+                    activity=action.activity,
+                    service=definition.service,
                 )
                 return False
             will_retry = definition.is_retriable
@@ -1282,6 +1358,9 @@ class TransactionalProcessScheduler:
                 dependents,
                 f"Lemma 2: dependents {sorted(dependents)} must compensate "
                 f"before {action.activity!r}^-1",
+                rule="R5-lemma2",
+                activity=action.activity,
+                service=definition.service,
             )
             # Triggering a cascade is progress even though this
             # compensation itself must wait.
@@ -1309,6 +1388,10 @@ class TransactionalProcessScheduler:
                 managed,
                 holders or set(block.holders),
                 f"compensation lock wait on {block.key!r}",
+                rule="lock-wait",
+                activity=action.activity,
+                service=inverse,
+                detail={"lock": str(block.key)},
             )
             return False
         except TransactionAborted as failure:
@@ -1328,6 +1411,9 @@ class TransactionalProcessScheduler:
                     managed,
                     set(),
                     f"subsystem down for compensation {inverse!r}",
+                    rule="unavailable",
+                    activity=action.activity,
+                    service=inverse,
                 )
                 return False
             if manager is not None:
@@ -1370,6 +1456,7 @@ class TransactionalProcessScheduler:
                         predecessors,
                         f"commit ordering: C({pid}) waits for "
                         f"{sorted(predecessors)}",
+                        rule="R7-commit-ordering",
                     )
                     return False
             if not self._harden(managed):
@@ -1417,6 +1504,17 @@ class TransactionalProcessScheduler:
             return
         managed.abort_pending = True
         managed.abort_reason = reason
+        # Keep the more specific shed/victim decision when this abort
+        # realises one; otherwise record the abort itself.
+        existing = self.decisions.get(managed.process_id)
+        if existing is None or existing.kind == "deferred":
+            self.decisions[managed.process_id] = DecisionRecord(
+                kind="abort",
+                rule="abort",
+                reason=reason,
+                process=managed.process_id,
+                detail={"cascade": cascade},
+            )
         self._notify(
             "abort_begun",
             process=managed.process_id,
@@ -1621,10 +1719,18 @@ class TransactionalProcessScheduler:
             victims, key=lambda managed: len(managed.log_positions)
         )
         self.stats["victim_aborts"] += 1
+        self.decisions[victim.process_id] = DecisionRecord(
+            kind="victim",
+            rule="deadlock-victim",
+            reason=f"deadlock victim (cycle {sorted(candidates)})",
+            process=victim.process_id,
+            detail={"cycle": sorted(candidates)},
+        )
         self._notify(
             "victim",
             process=victim.process_id,
             cycle=sorted(candidates),
+            rule="deadlock-victim",
         )
         self._begin_abort(
             victim,
@@ -1704,6 +1810,12 @@ class TransactionalProcessScheduler:
                 self._graph_sync().remove_event(position)
             entry.rolled_back = True
             self._history_version += 1
+            self._notify(
+                "rolled_back",
+                process=entry.process_id,
+                activity=entry.event.activity.activity_name,
+                position=position,
+            )
 
     def _conflicting_predecessors(
         self, pid: str, service: Optional[str]
@@ -2143,6 +2255,8 @@ class TransactionalProcessScheduler:
             process=managed.process_id,
             activity=activity_name,
             direction=direction.exponent,
+            service=service,
+            position=position,
         )
         self._wal(
             {
@@ -2158,18 +2272,67 @@ class TransactionalProcessScheduler:
         return position
 
     def _defer(
-        self, managed: ManagedProcess, waiting_for: Set[str], reason: str
+        self,
+        managed: ManagedProcess,
+        waiting_for: Set[str],
+        reason: str,
+        rule: str = "",
+        activity: Optional[str] = None,
+        service: Optional[str] = None,
+        detail: Optional[Dict[str, object]] = None,
     ) -> None:
+        # A blocked process is re-polled every cycle and re-defers with
+        # the same decision; only a *change* of decision within one
+        # waiting episode is a new fact worth tracing.
+        repeat = managed.status is ManagedStatus.WAITING
         managed.status = ManagedStatus.WAITING
         managed.waiting_for = frozenset(waiting_for)
         managed.waiting_reason = reason
-        self.stats["deferred"] += 1
-        self._notify(
-            "deferred",
+        record = DecisionRecord(
+            kind="deferred",
+            rule=rule,
+            reason=reason,
             process=managed.process_id,
+            activity=activity,
+            service=service,
+            waiting_for=tuple(sorted(waiting_for)),
+            detail=dict(detail) if detail else {},
+        )
+        repeat = repeat and managed.last_decision == record
+        managed.last_decision = record
+        self.decisions[managed.process_id] = record
+        self.stats["deferred"] += 1
+        trace = self._trace
+        traced = (
+            trace is not None
+            and trace.enabled  # type: ignore[attr-defined]
+            and not repeat
+        )
+        if not traced and not self._listeners:
+            return
+        extra: Dict[str, object] = dict(record.detail)
+        if traced and service is not None and rule in GRAPH_RULES:
+            # Only when a sink listens: resolve the concrete conflicting
+            # (activity, service) predecessors from the graph so the
+            # trace event is self-contained for offline `explain`.
+            extra["conflicts"] = self.conflict_pairs(
+                managed.process_id, service
+            )
+        payload: Dict[str, object] = dict(
+            process=managed.process_id,
+            activity=activity,
             waiting_for=sorted(waiting_for),
             reason=reason,
+            rule=rule,
+            service=service,
+            **extra,
         )
+        # Listeners (watchdogs, counters) still see every deferral;
+        # only the trace stream is deduplicated.
+        for listener in self._listeners:
+            listener("deferred", dict(payload))
+        if traced:
+            trace.emit_payload("deferred", payload)  # type: ignore[attr-defined]
 
     def _clear_wait(self, managed: ManagedProcess) -> None:
         if managed.status is ManagedStatus.WAITING:
@@ -2264,6 +2427,7 @@ class TransactionalProcessScheduler:
         state = scan_wal(self.wal).prune()
         lsn = self.wal.checkpoint(state.to_dict())
         self._appends_since_checkpoint = 0
+        self._notify("checkpoint", lsn=lsn)
         return lsn
 
     # ------------------------------------------------------------------
@@ -2279,10 +2443,12 @@ class TransactionalProcessScheduler:
         double-count history on the next recovery.
         """
         self._replaying = True
+        self._notify("replay_begin")
 
     def end_replay(self) -> None:
         """Leave replay mode: subsequent events are WAL-logged again."""
         self._replaying = False
+        self._notify("replay_end")
 
     # ------------------------------------------------------------------
     # instrumentation
@@ -2311,9 +2477,13 @@ class TransactionalProcessScheduler:
         ``hardened`` (a 2PC group committed), ``abort_begun`` (a process
         entered recovery, with ``cascade`` flag), ``victim`` (deadlock
         resolution chose a victim), ``terminated`` (a process reached a
-        terminal status), plus the overload-layer kinds: ``admitted``,
-        ``queued``, ``rejected``, ``shed``, ``draining``, ``starved``
-        and ``livelock``.  Exceptions raised by listeners propagate —
+        terminal status), plus the overload-layer kinds: ``offered``,
+        ``admitted``, ``queued``, ``rejected``, ``shed``, ``draining``,
+        ``starved`` and ``livelock``, and the lifecycle kinds
+        ``submitted``, ``rolled_back``, ``checkpoint``,
+        ``replay_begin`` and ``replay_end``.  The same stream feeds the
+        structured trace bus (see :meth:`attach_trace` and
+        :mod:`repro.obs`).  Exceptions raised by listeners propagate —
         instrumentation is trusted code.
         """
         self._listeners.append(listener)
@@ -2321,6 +2491,66 @@ class TransactionalProcessScheduler:
     def _notify(self, kind: str, **payload: object) -> None:
         for listener in self._listeners:
             listener(kind, dict(payload))
+        trace = self._trace
+        if trace is not None and trace.enabled:  # type: ignore[attr-defined]
+            trace.emit_payload(kind, payload)  # type: ignore[attr-defined]
+
+    def attach_trace(self, bus: object) -> None:
+        """Attach a structured trace bus (see :mod:`repro.obs.bus`).
+
+        Wires the same bus into the WAL, the resilience layer and every
+        registered subsystem, so one bus observes the whole stack;
+        subsystems auto-provisioned later inherit it.
+        """
+        self._trace = bus
+        if self.wal is not None:
+            self.wal.trace = bus
+        if self.resilience is not None:
+            self.resilience.trace = bus
+        for subsystem in self.registry.subsystems():
+            subsystem.trace = bus
+
+    @property
+    def trace(self) -> Optional[object]:
+        """The attached trace bus, if any."""
+        return self._trace
+
+    def explain(self, instance_id: str):
+        """Why is (or was) ``instance_id`` blocked, rejected or aborted?
+
+        Returns a :class:`repro.obs.explain.Explanation` naming the
+        protocol rule that fired (Lemma 1/2/3 rules R2-R7, admission
+        policy, breaker, ...) and — for graph-backed rules — the
+        concrete conflicting predecessors currently recorded in the
+        serialization graph.
+        """
+        from repro.obs.explain import explain_scheduler
+
+        return explain_scheduler(self, instance_id)
+
+    def conflict_pairs(
+        self, instance_id: str, service: str
+    ) -> List[Dict[str, object]]:
+        """Conflicting predecessors of ``service`` for ``instance_id``.
+
+        One dict per effective conflicting event of another process in
+        the serialization graph, with ``process``, ``activity``,
+        ``service`` and log ``position`` keys, in log order.
+        """
+        pairs: List[Dict[str, object]] = []
+        for other_pid, position in self._graph_sync().conflicting_events(
+            service, instance_id
+        ):
+            entry = self._log[position]
+            pairs.append(
+                {
+                    "process": other_pid,
+                    "activity": entry.event.activity.activity_name,
+                    "service": entry.event.conflict_service,
+                    "position": position,
+                }
+            )
+        return pairs
 
     # ------------------------------------------------------------------
     # crash simulation

@@ -201,6 +201,29 @@ class InvalidDelayError(SimulationError, ValueError):
 
 
 # ---------------------------------------------------------------------------
+# Observability errors
+# ---------------------------------------------------------------------------
+
+
+class ObservabilityError(ReproError):
+    """Base class for errors raised by the observability layer."""
+
+
+class TraceFormatError(ObservabilityError):
+    """An exported trace file could not be parsed or fails the schema.
+
+    Raised by the trace loaders (:func:`repro.obs.export.read_trace`)
+    when a JSONL trace contains a line that is not valid JSON, is not a
+    trace record object, or violates the event schema.  ``line`` is the
+    1-based line number of the offending record when known.
+    """
+
+    def __init__(self, message: str, line: "int | None" = None) -> None:
+        super().__init__(message)
+        self.line = line
+
+
+# ---------------------------------------------------------------------------
 # Recovery errors
 # ---------------------------------------------------------------------------
 

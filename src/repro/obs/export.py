@@ -1,0 +1,200 @@
+"""Trace and metrics exporters/loaders.
+
+* :func:`read_trace` — load an exported JSONL trace, raising the typed
+  :class:`~repro.errors.TraceFormatError` on malformed input (the CLI
+  maps it to a clean non-zero exit, never a stack trace).
+* :func:`chrome_trace` / :func:`write_chrome_trace` — convert a trace
+  stream to Chrome trace-event JSON (the ``{"traceEvents": [...]}``
+  document Perfetto and ``chrome://tracing`` load).  One sim time unit
+  is rendered as one millisecond.
+* :func:`validate_chrome_trace` — structural check of an emitted
+  document against the trace-event schema (used by the CI smoke job).
+* :func:`write_prometheus` — Prometheus text exposition of a
+  :class:`~repro.obs.metrics.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.errors import TraceFormatError
+from repro.obs.spans import derive_spans
+
+__all__ = [
+    "read_trace",
+    "chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "write_prometheus",
+]
+
+_REQUIRED_KEYS = ("seq", "ts", "kind", "cat")
+
+
+def read_trace(path: str) -> List[Dict[str, Any]]:
+    """Load a JSONL trace file.
+
+    Raises :class:`TraceFormatError` when a line is not valid JSON or
+    not a trace-record object; raises :class:`FileNotFoundError` for a
+    missing file (the CLI maps both to exit code 2).
+    """
+    records: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise TraceFormatError(
+                    f"{path}:{number}: not valid JSON ({error.msg})",
+                    line=number,
+                ) from error
+            if not isinstance(record, dict):
+                raise TraceFormatError(
+                    f"{path}:{number}: trace record must be a JSON object",
+                    line=number,
+                )
+            missing = [key for key in _REQUIRED_KEYS if key not in record]
+            if missing:
+                raise TraceFormatError(
+                    f"{path}:{number}: record missing keys "
+                    f"{', '.join(repr(key) for key in missing)}",
+                    line=number,
+                )
+            records.append(record)
+    return records
+
+
+# -- Chrome trace-event JSON ------------------------------------------
+
+#: Microseconds per sim time unit (one sim unit renders as 1 ms).
+_US_PER_UNIT = 1000.0
+
+#: tid lanes within each process track.
+_TID_LIFECYCLE = 0
+_TID_EXEC = 1
+
+
+def chrome_trace(records: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Convert an exported trace stream to a Chrome trace document."""
+    records = list(records)
+    spans = derive_spans(records)
+
+    pids: Dict[Optional[str], int] = {None: 0}
+    for record in records:
+        process = record.get("process")
+        if process is not None and process not in pids:
+            pids[process] = len(pids)
+
+    events: List[Dict[str, Any]] = []
+    for process, pid in pids.items():
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": process if process is not None else "scheduler"},
+            }
+        )
+
+    for span in spans:
+        pid = pids.get(span.process, 0)
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.cat,
+                "ph": "X",
+                "ts": span.start * _US_PER_UNIT,
+                "dur": span.duration * _US_PER_UNIT,
+                "pid": pid,
+                "tid": _TID_EXEC if span.cat == "sim" else _TID_LIFECYCLE,
+                "args": span.args,
+            }
+        )
+
+    for record in records:
+        kind = record.get("kind")
+        if kind == "exec":
+            continue  # already rendered as a complete span
+        pid = pids.get(record.get("process"), 0)
+        args = dict(record.get("data") or {})
+        activity = record.get("activity")
+        if activity:
+            args["activity"] = activity
+        events.append(
+            {
+                "name": kind,
+                "cat": record.get("cat", ""),
+                "ph": "i",
+                "ts": float(record.get("ts") or 0.0) * _US_PER_UNIT,
+                "pid": pid,
+                "tid": _TID_LIFECYCLE,
+                "s": "t",
+                "args": args,
+            }
+        )
+
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: str, records: Iterable[Dict[str, Any]]) -> None:
+    document = chrome_trace(records)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, separators=(",", ":"))
+        handle.write("\n")
+
+
+def validate_chrome_trace(document: Any) -> List[str]:
+    """Structural validation against the trace-event JSON schema.
+
+    Returns a list of problems (empty when the document is loadable by
+    Perfetto/chrome://tracing).
+    """
+    errors: List[str] = []
+    if not isinstance(document, dict):
+        return ["document must be a JSON object"]
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["document must have a 'traceEvents' array"]
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        ph = event.get("ph")
+        if not isinstance(ph, str) or not ph:
+            errors.append(f"{where}: missing phase 'ph'")
+            continue
+        if not isinstance(event.get("name"), str):
+            errors.append(f"{where}: missing 'name'")
+        if not isinstance(event.get("pid"), int):
+            errors.append(f"{where}: 'pid' must be an integer")
+        if ph == "M":
+            if not isinstance(event.get("args"), dict):
+                errors.append(f"{where}: metadata event needs 'args'")
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool):
+            errors.append(f"{where}: 'ts' must be a number")
+        if not isinstance(event.get("tid"), int):
+            errors.append(f"{where}: 'tid' must be an integer")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or isinstance(dur, bool):
+                errors.append(f"{where}: complete event needs numeric 'dur'")
+            elif dur < 0:
+                errors.append(f"{where}: negative 'dur'")
+        elif ph == "i":
+            if event.get("s") not in ("t", "p", "g"):
+                errors.append(f"{where}: instant event scope 's' invalid")
+    return errors
+
+
+def write_prometheus(path: str, registry: Any, prefix: str = "repro") -> None:
+    """Write a registry's Prometheus text exposition to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(registry.to_prometheus(prefix=prefix))

@@ -1,0 +1,276 @@
+"""Metrics registry: counters, gauges and histograms.
+
+One counter system for the whole library.  The incremental core's
+:class:`repro.core.perf.PerfCounters` is a facade over this registry,
+so hot-path statistics (``perf.*``), admission counters and simulation
+latency histograms all export through the same
+:meth:`MetricsRegistry.snapshot` / :meth:`MetricsRegistry.to_prometheus`
+surface.
+
+Design constraints:
+
+* **Hot-path compatible.**  :class:`Counter` implements the numeric
+  protocol (``+=``, comparisons, ``int()``/``float()``/``round()``), so
+  existing call sites like ``self.perf.edge_updates += 1`` and test
+  assertions like ``perf.log_scans == 0`` keep working unchanged.
+* **No dependencies.**  Percentiles are computed locally; the module
+  imports nothing from the rest of the library.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Union
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+Number = Union[int, float]
+
+
+def _percentile(ordered: List[float], fraction: float) -> float:
+    """Linear-interpolated percentile of an already-sorted sample."""
+    if not ordered:
+        return 0.0
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = fraction * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    weight = rank - low
+    return ordered[low] * (1 - weight) + ordered[high] * weight
+
+
+def _value_of(other: object) -> Number:
+    if isinstance(other, Counter):
+        return other.value
+    if isinstance(other, Gauge):
+        return other.value
+    return other  # type: ignore[return-value]
+
+
+class Counter:
+    """A monotonically increasing counter that quacks like a number."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: Number = 0) -> None:
+        self.name = name
+        self.value = value
+
+    def inc(self, amount: Number = 1) -> None:
+        self.value += amount
+
+    # -- numeric protocol: keep `perf.foo += 1` call sites unchanged --
+    def __iadd__(self, amount: Number) -> "Counter":
+        self.value += amount
+        return self
+
+    def __int__(self) -> int:
+        return int(self.value)
+
+    def __float__(self) -> float:
+        return float(self.value)
+
+    def __index__(self) -> int:
+        return int(self.value)
+
+    def __round__(self, ndigits: Optional[int] = None) -> Number:
+        return round(self.value, ndigits) if ndigits is not None else round(self.value)
+
+    def __bool__(self) -> bool:
+        return bool(self.value)
+
+    def __eq__(self, other: object) -> bool:
+        return self.value == _value_of(other)
+
+    def __ne__(self, other: object) -> bool:
+        return self.value != _value_of(other)
+
+    def __lt__(self, other: object) -> bool:
+        return self.value < _value_of(other)
+
+    def __le__(self, other: object) -> bool:
+        return self.value <= _value_of(other)
+
+    def __gt__(self, other: object) -> bool:
+        return self.value > _value_of(other)
+
+    def __ge__(self, other: object) -> bool:
+        return self.value >= _value_of(other)
+
+    def __add__(self, other: object) -> Number:
+        return self.value + _value_of(other)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: object) -> Number:
+        return self.value - _value_of(other)
+
+    def __rsub__(self, other: object) -> Number:
+        return _value_of(other) - self.value
+
+    def __mul__(self, other: object) -> Number:
+        return self.value * _value_of(other)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: object) -> float:
+        return self.value / _value_of(other)
+
+    def __rtruediv__(self, other: object) -> float:
+        return _value_of(other) / self.value
+
+    def __hash__(self) -> int:
+        return hash((self.name, id(self)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A point-in-time value (queue depth, open breakers, ...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: Number = 0) -> None:
+        self.name = name
+        self.value = value
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+    def inc(self, amount: Number = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: Number = 1) -> None:
+        self.value -= amount
+
+    def __int__(self) -> int:
+        return int(self.value)
+
+    def __float__(self) -> float:
+        return float(self.value)
+
+    def __eq__(self, other: object) -> bool:
+        return self.value == _value_of(other)
+
+    def __hash__(self) -> int:
+        return hash((self.name, id(self)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name}={self.value})"
+
+
+class Histogram:
+    """A sample distribution summarised as p50/p95/p99.
+
+    Keeps the raw observations (simulation runs are bounded); a cap
+    protects pathological callers by dropping the *oldest half* once
+    ``max_samples`` is exceeded, which biases long-running streams
+    toward recent behaviour.
+    """
+
+    __slots__ = ("name", "count", "total", "_samples", "max_samples")
+
+    def __init__(self, name: str, max_samples: int = 100_000) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self._samples: List[float] = []
+        self.max_samples = max_samples
+
+    def observe(self, value: Number) -> None:
+        self.count += 1
+        self.total += value
+        samples = self._samples
+        samples.append(float(value))
+        if len(samples) > self.max_samples:
+            del samples[: len(samples) // 2]
+
+    def summary(self) -> Dict[str, float]:
+        ordered = sorted(self._samples)
+        return {
+            "count": self.count,
+            "sum": round(self.total, 6),
+            "mean": round(self.total / self.count, 6) if self.count else 0.0,
+            "p50": round(_percentile(ordered, 0.50), 6),
+            "p95": round(_percentile(ordered, 0.95), 6),
+            "p99": round(_percentile(ordered, 0.99), 6),
+            "max": ordered[-1] if ordered else 0.0,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram({self.name} n={self.count})"
+
+
+def _prom_name(prefix: str, name: str) -> str:
+    cleaned = []
+    for char in name:
+        cleaned.append(char if (char.isalnum() or char == "_") else "_")
+    return f"{prefix}_{''.join(cleaned)}" if prefix else "".join(cleaned)
+
+
+class MetricsRegistry:
+    """Named counters, gauges and histograms with get-or-create access."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    # -- get-or-create accessors --------------------------------------
+    def counter(self, name: str) -> Counter:
+        counter = self.counters.get(name)
+        if counter is None:
+            counter = self.counters[name] = Counter(name)
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        gauge = self.gauges.get(name)
+        if gauge is None:
+            gauge = self.gauges[name] = Gauge(name)
+        return gauge
+
+    def histogram(self, name: str) -> Histogram:
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram(name)
+        return histogram
+
+    # -- export -------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """Flat name -> value mapping (histograms expand to summaries)."""
+        values: Dict[str, object] = {}
+        for name, counter in sorted(self.counters.items()):
+            values[name] = counter.value
+        for name, gauge in sorted(self.gauges.items()):
+            values[name] = gauge.value
+        for name, histogram in sorted(self.histograms.items()):
+            for stat, stat_value in histogram.summary().items():
+                values[f"{name}.{stat}"] = stat_value
+        return values
+
+    def to_prometheus(self, prefix: str = "repro") -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: List[str] = []
+        for name, counter in sorted(self.counters.items()):
+            metric = _prom_name(prefix, name)
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {counter.value}")
+        for name, gauge in sorted(self.gauges.items()):
+            metric = _prom_name(prefix, name)
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {gauge.value}")
+        for name, histogram in sorted(self.histograms.items()):
+            metric = _prom_name(prefix, name)
+            summary = histogram.summary()
+            lines.append(f"# TYPE {metric} summary")
+            for quantile in ("p50", "p95", "p99"):
+                lines.append(
+                    f'{metric}{{quantile="0.{quantile[1:]}"}} {summary[quantile]}'
+                )
+            lines.append(f"{metric}_sum {summary['sum']}")
+            lines.append(f"{metric}_count {summary['count']}")
+        return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,63 @@
+"""Trace replay: reconstruct the schedule history from an event stream.
+
+The trace is *complete and ordered*: every recorded activity event
+carries its log position, native rollbacks reference the position they
+cancel, and terminations carry the final status.  Replaying the stream
+therefore reconstructs exactly what :meth:`TransactionalProcessScheduler.
+history` reports — the property the Hypothesis trace-replay test
+checks for random failing workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Tuple
+
+__all__ = ["replay_trace"]
+
+
+def replay_trace(records: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Reconstruct the schedule history and terminal process states.
+
+    Returns a dict with:
+
+    ``schedule``
+        ``(process, activity, direction_exponent, service)`` tuples in
+        log order, excluding natively rolled-back events — exactly the
+        activity events of the scheduler's certified history.
+    ``terminal``
+        ``process -> status`` for every process that reached a
+        terminal state (``committed`` / ``aborted``).
+    ``positions``
+        The surviving log positions, in order (diagnostics).
+    """
+    entries: Dict[int, Tuple[str, str, int, str]] = {}
+    rolled: set = set()
+    terminal: Dict[str, str] = {}
+    for record in records:
+        kind = record.get("kind")
+        if kind == "activity":
+            data = record.get("data") or {}
+            position = data.get("position")
+            if position is None:
+                continue
+            entries[position] = (
+                record.get("process") or "",
+                record.get("activity") or "",
+                data.get("direction", 1),
+                data.get("service") or "",
+            )
+        elif kind == "rolled_back":
+            data = record.get("data") or {}
+            position = data.get("position")
+            if position is not None:
+                rolled.add(position)
+        elif kind == "terminated":
+            process = record.get("process")
+            if process:
+                terminal[process] = (record.get("data") or {}).get("status", "")
+    positions: List[int] = [p for p in sorted(entries) if p not in rolled]
+    return {
+        "schedule": [entries[p] for p in positions],
+        "terminal": terminal,
+        "positions": positions,
+    }

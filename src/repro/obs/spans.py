@@ -1,0 +1,120 @@
+"""Span derivation: fold the flat event stream into lifecycle spans.
+
+The trace bus emits point events; timelines want intervals.  This
+module derives three span families from an exported stream:
+
+* **execution spans** — one per ``exec`` event (the runner emits the
+  service duration with the dispatch), covering the activity's stay at
+  its subsystem;
+* **wait spans** — from a ``queued`` offer to its ``admitted`` event
+  (time spent parked in the admission queue);
+* **process spans** — from a process's first appearance (``offered`` /
+  ``submitted`` / ``admitted``) to its ``terminated`` event.
+
+Spans feed the Chrome trace exporter (`repro.obs.export.chrome_trace`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+__all__ = ["Span", "derive_spans"]
+
+
+@dataclass
+class Span:
+    """A named interval attributed to a process."""
+
+    name: str
+    cat: str
+    process: Optional[str]
+    start: float
+    end: float
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return max(0.0, self.end - self.start)
+
+
+def derive_spans(records: Iterable[Dict[str, Any]]) -> List[Span]:
+    """Derive lifecycle spans from an exported trace stream.
+
+    Accepts JSONL-shaped record dicts (see
+    :meth:`repro.obs.events.TraceEvent.to_dict`); tolerates truncated
+    streams (an unterminated process yields a span ending at the last
+    seen timestamp).
+    """
+    spans: List[Span] = []
+    first_seen: Dict[str, float] = {}
+    queued_at: Dict[str, float] = {}
+    terminated_at: Dict[str, float] = {}
+    terminal_status: Dict[str, str] = {}
+    last_ts = 0.0
+
+    for record in records:
+        kind = record.get("kind")
+        ts = float(record.get("ts") or 0.0)
+        last_ts = max(last_ts, ts)
+        process = record.get("process")
+        data = record.get("data") or {}
+        if process and process not in first_seen and kind in (
+            "offered",
+            "submitted",
+            "queued",
+            "admitted",
+            "activity",
+            "exec",
+        ):
+            first_seen[process] = ts
+        if kind == "queued" and process:
+            queued_at[process] = ts
+        elif kind == "admitted" and process:
+            start = queued_at.pop(process, None)
+            if start is not None:
+                spans.append(
+                    Span(
+                        name="queue wait",
+                        cat="admission",
+                        process=process,
+                        start=start,
+                        end=ts,
+                    )
+                )
+        elif kind == "exec" and process:
+            duration = float(data.get("duration") or 0.0)
+            activity = record.get("activity") or "?"
+            service = data.get("service")
+            spans.append(
+                Span(
+                    name=f"{activity}@{service}" if service else activity,
+                    cat="sim",
+                    process=process,
+                    start=ts,
+                    end=ts + duration,
+                    args=dict(data),
+                )
+            )
+        elif kind == "terminated" and process:
+            terminated_at[process] = ts
+            terminal_status[process] = data.get("status", "")
+
+    for process, start in first_seen.items():
+        end = terminated_at.get(process, last_ts)
+        args: Dict[str, Any] = {}
+        status = terminal_status.get(process)
+        if status:
+            args["status"] = status
+        spans.append(
+            Span(
+                name=f"process {process}",
+                cat="sched",
+                process=process,
+                start=start,
+                end=max(end, start),
+                args=args,
+            )
+        )
+    spans.sort(key=lambda span: (span.start, span.end))
+    return spans

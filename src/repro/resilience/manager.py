@@ -91,6 +91,36 @@ class ResilienceManager:
             "degradations": 0,
             "retry_budget_exhausted": 0,
         }
+        #: Optional structured trace bus (wired by the scheduler's
+        #: ``attach_trace``); breaker transitions, retry backoff and
+        #: fast-fails are emitted on it.
+        self.trace = None
+
+    # -- tracing --------------------------------------------------------------
+
+    _STATE_EVENTS = {
+        BreakerState.OPEN: "breaker_open",
+        BreakerState.HALF_OPEN: "breaker_half_open",
+        BreakerState.CLOSED: "breaker_closed",
+    }
+
+    def _emit_transition(
+        self, service: str, before: BreakerState, breaker
+    ) -> None:
+        """Emit a breaker state-transition event (traced runs only)."""
+        after = breaker.state
+        if after is not before:
+            self.trace.emit(
+                self._STATE_EVENTS[after],
+                service=service,
+                previous=before.value,
+                reopen_at=getattr(breaker, "reopen_at", 0.0),
+            )
+
+    @property
+    def _tracing(self) -> bool:
+        trace = self.trace
+        return trace is not None and trace.enabled
 
     # -- clock ----------------------------------------------------------------
 
@@ -121,7 +151,13 @@ class ResilienceManager:
         """Closed/half-open breaker (or unprotected service) → proceed."""
         if self._protected is not None and service not in self._protected:
             return True
-        return self.breakers.get(service).allow(self.now)
+        breaker = self.breakers.get(service)
+        if not self._tracing:
+            return breaker.allow(self.now)
+        before = breaker.state
+        allowed = breaker.allow(self.now)
+        self._emit_transition(service, before, breaker)
+        return allowed
 
     def note_fast_fail(self, process_id: str, service: str) -> None:
         """An open breaker refused the call: wait out the open window."""
@@ -129,11 +165,24 @@ class ResilienceManager:
         self._retry_at[process_id] = max(
             self._retry_at.get(process_id, 0.0), breaker.reopen_at
         )
+        if self._tracing:
+            self.trace.emit(
+                "fast_fail",
+                process=process_id,
+                service=service,
+                reopen_at=breaker.reopen_at,
+            )
 
     # -- outcome reports -----------------------------------------------------
 
     def on_success(self, process_id: str, service: str) -> None:
-        self.breakers.get(service).record_success(self.now)
+        breaker = self.breakers.get(service)
+        if self._tracing:
+            before = breaker.state
+            breaker.record_success(self.now)
+            self._emit_transition(service, before, breaker)
+        else:
+            breaker.record_success(self.now)
         self._retry_at.pop(process_id, None)
 
     def on_failure(
@@ -151,7 +200,12 @@ class ResilienceManager:
         compensations) rather than switching paths or aborting.
         """
         now = self.now
-        self.breakers.get(service).record_failure(now)
+        tracing = self._tracing
+        breaker = self.breakers.get(service)
+        before = breaker.state if tracing else None
+        breaker.record_failure(now)
+        if tracing:
+            self._emit_transition(service, before, breaker)
         elapsed = getattr(error, "elapsed", 0.0)
         if isinstance(error, ServiceTimeout):
             self.counters["timeouts"] += 1
@@ -164,6 +218,15 @@ class ResilienceManager:
                 self.counters["retry_budget_exhausted"] += 1
             delay = policy.backoff_delay(service, attempt)
             self._retry_at[process_id] = now + elapsed + delay
+            if tracing:
+                self.trace.emit(
+                    "retry",
+                    process=process_id,
+                    service=service,
+                    attempt=attempt,
+                    delay=delay,
+                    not_before=self._retry_at[process_id],
+                )
         elif elapsed:
             # Even a path switch pays for the time burnt waiting.
             self._retry_at[process_id] = now + elapsed
@@ -183,7 +246,13 @@ class ResilienceManager:
         without touching the downed subsystem at all.
         """
         now = self.now
-        self.breakers.get(service).record_failure(now)
+        breaker = self.breakers.get(service)
+        if self._tracing:
+            before = breaker.state
+            breaker.record_failure(now)
+            self._emit_transition(service, before, breaker)
+        else:
+            breaker.record_failure(now)
         self.counters["unavailable"] += 1
         self._retry_at[process_id] = max(
             self._retry_at.get(process_id, 0.0),

@@ -197,7 +197,7 @@ def default_mixes(
     ]
 
 
-def _build(spec: ChaosSpec):
+def _build(spec: ChaosSpec, trace=None, metrics=None):
     """Scheduler + runner + chaos policy for one spec, wired together."""
     workload = generate_workload(replace(spec.workload, seed=spec.seed))
     targets = None
@@ -228,7 +228,10 @@ def _build(spec: ChaosSpec):
         ),
     )
     scheduler = TransactionalProcessScheduler(
-        conflicts=workload.conflicts, resilience=manager
+        conflicts=workload.conflicts,
+        resilience=manager,
+        trace=trace,
+        metrics=metrics,
     )
     for process in workload.processes:
         scheduler.submit(process, failures=chaos)
@@ -236,7 +239,9 @@ def _build(spec: ChaosSpec):
     return scheduler, runner, chaos
 
 
-def run_chaos(spec: ChaosSpec, certify: bool = True) -> ChaosResult:
+def run_chaos(
+    spec: ChaosSpec, certify: bool = True, trace=None, metrics=None
+) -> ChaosResult:
     """One seeded chaos run; certifies the produced history offline.
 
     With ``certify=True`` a history that fails PRED (or a process that
@@ -244,15 +249,30 @@ def run_chaos(spec: ChaosSpec, certify: bool = True) -> ChaosResult:
     :class:`~repro.errors.CorrectnessViolation` — the harness's hard
     assertion that Theorem 1's guarantees survive the resilience layer.
     """
-    scheduler, runner, chaos = _build(spec)
-    metrics = runner.run()
+    scheduler, runner, chaos = _build(spec, trace=trace, metrics=metrics)
+    if trace is not None and trace.enabled:
+        trace.emit(
+            "run_begin", harness="chaos", mix=spec.name, seed=spec.seed
+        )
+    run_metrics = runner.run()
     verdict = certify_history(scheduler.history(), scheduler.all_terminated())
     counters = scheduler.resilience.snapshot()
-    metrics.prefix_reducible = verdict.pred
-    metrics.faults_injected = chaos.total_injected
+    run_metrics.prefix_reducible = verdict.pred
+    run_metrics.faults_injected = chaos.total_injected
+    if trace is not None and trace.enabled:
+        trace.emit(
+            "run_end",
+            harness="chaos",
+            mix=spec.name,
+            seed=spec.seed,
+            committed=run_metrics.processes_committed,
+            aborted=run_metrics.processes_aborted,
+            makespan=run_metrics.makespan,
+            certified=verdict.certified,
+        )
     result = ChaosResult(
         spec=spec,
-        metrics=metrics,
+        metrics=run_metrics,
         injected=dict(chaos.injected),
         counters=counters,
         pred=verdict.pred,
@@ -271,10 +291,19 @@ def chaos_sweep(
     mixes: Optional[Sequence[ChaosSpec]] = None,
     seeds: Sequence[int] = (0, 1, 2),
     certify: bool = True,
+    trace=None,
+    metrics=None,
 ) -> List[ChaosResult]:
     """Sweep fault mixes × seeds; every run is certified by default."""
     results: List[ChaosResult] = []
     for spec in mixes if mixes is not None else default_mixes():
         for seed in seeds:
-            results.append(run_chaos(spec.with_seed(seed), certify=certify))
+            results.append(
+                run_chaos(
+                    spec.with_seed(seed),
+                    certify=certify,
+                    trace=trace,
+                    metrics=metrics,
+                )
+            )
     return results

@@ -268,7 +268,7 @@ class CrashPointSweep:
         }
 
 
-def _build(spec: CrashPointSpec, wal: WriteAheadLog):
+def _build(spec: CrashPointSpec, wal: WriteAheadLog, trace=None, metrics=None):
     """Deterministic scheduler + repository for one campaign seed.
 
     Processes are *not* submitted here — submission already writes the
@@ -284,6 +284,8 @@ def _build(spec: CrashPointSpec, wal: WriteAheadLog):
         conflicts=workload.conflicts,
         wal=wal,
         checkpoint_interval=spec.checkpoint_interval,
+        trace=trace,
+        metrics=metrics,
     )
     repository = {process.process_id: process for process in workload.processes}
     return scheduler, repository, workload, failures
@@ -337,13 +339,24 @@ def crash_once(
     spec: CrashPointSpec,
     crash_lsn: int,
     recovery_crash_after: Optional[int] = None,
+    trace=None,
+    metrics=None,
 ) -> CrashPointResult:
     """Crash at one LSN (optionally once more during recovery), recover
     fully, and certify the outcome."""
     inner = InMemoryWAL()
     scheduler, repository, workload, failures = _build(
-        spec, CrashingWAL(inner, crash_lsn=crash_lsn)
+        spec, CrashingWAL(inner, crash_lsn=crash_lsn), trace=trace,
+        metrics=metrics,
     )
+    if trace is not None and trace.enabled:
+        trace.emit(
+            "run_begin",
+            harness="crashpoints",
+            seed=spec.seed,
+            crash_lsn=crash_lsn,
+            recovery_crash_after=recovery_crash_after,
+        )
     crashed = _drive(scheduler, workload, failures)
     scheduler.crash()
 
@@ -380,6 +393,16 @@ def crash_once(
     )
     idempotent = again.noop and len(inner) == length_before
 
+    if trace is not None and trace.enabled:
+        trace.emit(
+            "run_end",
+            harness="crashpoints",
+            seed=spec.seed,
+            crash_lsn=crash_lsn,
+            crashed=crashed,
+            certified=certification.certified,
+            idempotent=idempotent,
+        )
     return CrashPointResult(
         crash_lsn=crash_lsn,
         recovery_crash_after=recovery_crash_after,
@@ -421,7 +444,10 @@ def baseline_lsns(spec: CrashPointSpec) -> int:
 
 
 def run_crashpoints(
-    spec: CrashPointSpec, file_faults: bool = True
+    spec: CrashPointSpec,
+    file_faults: bool = True,
+    trace=None,
+    metrics=None,
 ) -> CrashPointSweep:
     """The full torture sweep for one seed.
 
@@ -433,7 +459,7 @@ def run_crashpoints(
     total = baseline_lsns(spec)
     results: List[CrashPointResult] = []
     for index, crash_lsn in enumerate(range(0, total, spec.stride)):
-        result = crash_once(spec, crash_lsn)
+        result = crash_once(spec, crash_lsn, trace=trace, metrics=metrics)
         results.append(result)
         if not result.crashed:
             continue
@@ -441,7 +467,13 @@ def run_crashpoints(
             appends = _recovery_appends(spec, crash_lsn)
             for step in range(1, appends + 1):
                 results.append(
-                    crash_once(spec, crash_lsn, recovery_crash_after=step)
+                    crash_once(
+                        spec,
+                        crash_lsn,
+                        recovery_crash_after=step,
+                        trace=trace,
+                        metrics=metrics,
+                    )
                 )
     faults = run_file_faults(spec) if file_faults else []
     return CrashPointSweep(

@@ -134,7 +134,7 @@ class OverloadResult:
         }
 
 
-def _build(spec: OverloadSpec):
+def _build(spec: OverloadSpec, trace=None, metrics=None):
     """Scheduler + open-loop runner for one spec, wired together."""
     workload = generate_workload(replace(spec.workload, seed=spec.seed))
     times = generate_arrivals(
@@ -171,6 +171,8 @@ def _build(spec: OverloadSpec):
             starvation_rounds=spec.starvation_rounds,
             livelock_flaps=spec.livelock_flaps,
         ),
+        trace=trace,
+        metrics=metrics,
     )
     offers = [
         Arrival(time=time, process=process, failures=workload.failures)
@@ -182,7 +184,9 @@ def _build(spec: OverloadSpec):
     return scheduler, runner
 
 
-def run_overload(spec: OverloadSpec, certify: bool = True) -> OverloadResult:
+def run_overload(
+    spec: OverloadSpec, certify: bool = True, trace=None, metrics=None
+) -> OverloadResult:
     """One seeded open-loop run; certifies the produced history offline.
 
     With ``certify=True`` a history that fails PRED, a process that
@@ -190,10 +194,17 @@ def run_overload(spec: OverloadSpec, certify: bool = True) -> OverloadResult:
     :class:`~repro.errors.CorrectnessViolation` — overload control must
     never buy throughput with correctness.
     """
-    scheduler, runner = _build(spec)
-    metrics = runner.run()
+    scheduler, runner = _build(spec, trace=trace, metrics=metrics)
+    if trace is not None and trace.enabled:
+        trace.emit(
+            "run_begin",
+            harness="overload",
+            load=spec.offered_load,
+            seed=spec.seed,
+        )
+    run_metrics = runner.run()
     verdict = certify_history(scheduler.history(), scheduler.all_terminated())
-    metrics.prefix_reducible = verdict.pred
+    run_metrics.prefix_reducible = verdict.pred
     frec_sheds = sum(
         1
         for pid in scheduler.shed_ids
@@ -201,12 +212,24 @@ def run_overload(spec: OverloadSpec, certify: bool = True) -> OverloadResult:
     )
     sojourns = [
         end - scheduler.managed(pid).offered_at
-        for pid, (_, end) in metrics.process_spans.items()
+        for pid, (_, end) in run_metrics.process_spans.items()
         if scheduler.managed(pid).status is ManagedStatus.COMMITTED
     ]
+    if trace is not None and trace.enabled:
+        trace.emit(
+            "run_end",
+            harness="overload",
+            load=spec.offered_load,
+            seed=spec.seed,
+            committed=run_metrics.processes_committed,
+            aborted=run_metrics.processes_aborted,
+            shed=run_metrics.processes_shed,
+            makespan=run_metrics.makespan,
+            certified=verdict.certified and frec_sheds == 0,
+        )
     result = OverloadResult(
         spec=spec,
-        metrics=metrics,
+        metrics=run_metrics,
         certification=verdict,
         sojourns=sorted(sojourns),
         frec_sheds=frec_sheds,
@@ -226,6 +249,8 @@ def overload_sweep(
     base: Optional[OverloadSpec] = None,
     seeds: Sequence[int] = (0,),
     certify: bool = True,
+    trace=None,
+    metrics=None,
 ) -> List[OverloadResult]:
     """Sweep offered loads × seeds; every run is certified by default."""
     spec = base if base is not None else OverloadSpec()
@@ -234,7 +259,10 @@ def overload_sweep(
         for seed in seeds:
             results.append(
                 run_overload(
-                    spec.with_load(load).with_seed(seed), certify=certify
+                    spec.with_load(load).with_seed(seed),
+                    certify=certify,
+                    trace=trace,
+                    metrics=metrics,
                 )
             )
     return results

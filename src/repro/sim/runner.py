@@ -129,6 +129,14 @@ class SimulationRunner:
                 for subsystem in registry.subsystems():
                     if subsystem.clock is None or subsystem.clock is previous:
                         subsystem.clock = self.queue.clock
+        #: The scheduler's trace bus, if attached: timestamp its events
+        #: from the simulation clock (virtual time).
+        self.trace = getattr(scheduler, "trace", None)
+        if self.trace is not None:
+            self.trace.attach_clock(self.queue.clock)
+        #: Metrics registry (PRED scheduler only): the runner feeds
+        #: activity-duration and process-sojourn histograms.
+        self._metrics_registry = getattr(scheduler, "metrics", None)
 
     # -- gating ---------------------------------------------------------------
 
@@ -292,6 +300,8 @@ class SimulationRunner:
     ) -> None:
         now = self.queue.clock.now
         latency_of = getattr(self.scheduler, "timeline_latency", None)
+        trace = self.trace
+        registry = self._metrics_registry
         for index in range(before, self.scheduler.timeline_length()):
             event = self.scheduler.timeline_event(index)
             if isinstance(event, ActivityEvent):
@@ -306,9 +316,26 @@ class SimulationRunner:
                 self._in_flight.append(flight)
                 self._busy.add(event.process_id)
                 self.queue.schedule(duration, self._completion(flight))
+                if trace is not None and trace.enabled:
+                    trace.emit(
+                        "exec",
+                        process=event.process_id,
+                        activity=event.activity.activity_name,
+                        service=event.service,
+                        duration=duration,
+                        direction=event.activity.direction.exponent,
+                    )
+                if registry is not None:
+                    registry.histogram("sim.activity_duration").observe(
+                        duration
+                    )
             elif isinstance(event, (CommitEvent, AbortEvent)):
                 start = spans_start.get(event.process_id, now)
                 metrics.process_spans[event.process_id] = (start, now)
+                if registry is not None:
+                    registry.histogram("sim.process_sojourn").observe(
+                        now - start
+                    )
                 if isinstance(event, CommitEvent):
                     metrics.processes_committed += 1
                 else:

@@ -93,6 +93,9 @@ class Subsystem:
         self.clock = None
         #: Virtual time until which the subsystem is crash-stopped.
         self._down_until: Optional[float] = None
+        #: Optional structured trace bus (wired by the scheduler's
+        #: ``attach_trace``); fault injections are emitted on it.
+        self.trace = None
 
     # -- registration ---------------------------------------------------------
 
@@ -202,6 +205,16 @@ class Subsystem:
         timeout: Optional[float],
     ) -> float:
         """Realise an injected fault; returns survivable extra latency."""
+        trace = self.trace
+        if trace is not None and trace.enabled:
+            trace.emit(
+                "fault",
+                fault=fault.kind.value,
+                service=service_name,
+                subsystem=self.name,
+                attempt=attempt,
+                duration=fault.duration,
+            )
         where = (
             f"{service_name!r} (attempt {attempt}) on subsystem {self.name!r}"
         )

@@ -55,6 +55,7 @@ LSNs restart at zero).
 from __future__ import annotations
 
 import json
+import logging
 import os
 import zlib
 from typing import Dict, Iterator, List, Optional
@@ -66,6 +67,11 @@ __all__ = ["WriteAheadLog", "InMemoryWAL", "FileWAL", "CHECKPOINT"]
 #: Record type of checkpoint records (shared with recovery's analysis).
 CHECKPOINT = "checkpoint"
 
+#: Module logger; the ``repro`` package logger carries a NullHandler,
+#: so nothing prints unless the embedding application configures
+#: logging.
+logger = logging.getLogger(__name__)
+
 
 def _encode(record: Dict[str, object]) -> str:
     """Canonical v2 line for a record (without the trailing newline)."""
@@ -76,6 +82,17 @@ def _encode(record: Dict[str, object]) -> str:
 
 class WriteAheadLog:
     """Interface of an append-only record log."""
+
+    #: Optional structured trace bus (see :mod:`repro.obs.bus`); the
+    #: scheduler's :meth:`attach_trace` wires it.  Emission is guarded
+    #: on ``trace.enabled``, so an unattached or disabled bus costs one
+    #: attribute test per append.
+    trace: Optional[object] = None
+
+    def _emit(self, kind: str, **data: object) -> None:
+        trace = self.trace
+        if trace is not None and trace.enabled:  # type: ignore[attr-defined]
+            trace.emit(kind, **data)  # type: ignore[attr-defined]
 
     def append(self, record: Dict[str, object]) -> int:
         """Append a record; returns its log sequence number."""
@@ -131,6 +148,12 @@ class InMemoryWAL(WriteAheadLog):
         stamped = dict(record)
         stamped["lsn"] = lsn
         self._records.append(stamped)
+        self._emit(
+            "wal_append",
+            lsn=lsn,
+            record_type=record.get("type"),
+            process=record.get("process"),
+        )
         return lsn
 
     def records(self) -> List[Dict[str, object]]:
@@ -139,13 +162,17 @@ class InMemoryWAL(WriteAheadLog):
     def checkpoint(self, state: Dict[str, object]) -> int:
         lsn = self.append({"type": CHECKPOINT, "state": state})
         # Compact: the checkpoint subsumes everything before it.
+        dropped = len(self._records) - 1
         self._records = [self._records[-1]]
+        self._emit("wal_checkpoint", lsn=lsn, compacted=dropped)
         return lsn
 
     def truncate(self) -> None:
         """Discard all records (checkpointing support)."""
+        dropped = len(self._records)
         self._records.clear()
         self._next_lsn = 0
+        self._emit("wal_truncate", dropped=dropped)
 
 
 class FileWAL(WriteAheadLog):
@@ -279,6 +306,15 @@ class FileWAL(WriteAheadLog):
             "reason": reason,
         }
         self._next_lsn = self._infer_next_lsn()
+        # Salvage happens during construction, before any trace bus can
+        # be attached — the stdlib logger is the right channel here.
+        logger.warning(
+            "%s: salvaged torn WAL tail at offset %d (%d bytes dropped): %s",
+            self.path,
+            offset,
+            dropped,
+            reason,
+        )
 
     # -- the persistent handle ---------------------------------------------
 
@@ -312,6 +348,7 @@ class FileWAL(WriteAheadLog):
         handle = self._open()
         handle.flush()
         os.fsync(handle.fileno())
+        self._emit("wal_sync", lsn=self._next_lsn - 1)
 
     # -- appending ----------------------------------------------------------
 
@@ -325,10 +362,18 @@ class FileWAL(WriteAheadLog):
         handle.write("\n")
         if self.flush == "always":
             handle.flush()
-        if self.fsync:
+        fsynced = self.fsync
+        if fsynced:
             handle.flush()
             os.fsync(handle.fileno())
         self._records.append(stamped)
+        self._emit(
+            "wal_append",
+            lsn=lsn,
+            record_type=record.get("type"),
+            process=record.get("process"),
+            fsync=fsynced,
+        )
         return lsn
 
     def records(self) -> List[Dict[str, object]]:
@@ -338,15 +383,19 @@ class FileWAL(WriteAheadLog):
 
     def checkpoint(self, state: Dict[str, object]) -> int:
         lsn = self.append({"type": CHECKPOINT, "state": state})
+        dropped = len(self._records) - 1
         self._records = [self._records[-1]]
         self._rewrite()
+        self._emit("wal_checkpoint", lsn=lsn, compacted=dropped)
         return lsn
 
     def truncate(self) -> None:
         """Empty the log on disk; a reopened truncated log has no records."""
+        dropped = len(self._records)
         self._records = []
         self._next_lsn = 0
         self._rewrite()
+        self._emit("wal_truncate", dropped=dropped)
 
     def _rewrite(self) -> None:
         """Atomically replace the file with the retained records."""

@@ -1,0 +1,88 @@
+"""Property: the trace stream is a complete record of the run.
+
+Replaying an exported trace must reconstruct *exactly* the schedule
+history the scheduler certified — every surviving activity event in log
+order with its direction and service — and the terminal status of every
+process.  If this holds for arbitrary failing workloads, the trace is
+lossless: offline tools (``explain``, the Chrome exporter, the CI
+schema check) can trust it as a substitute for the live scheduler.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.schedule import ActivityEvent
+from repro.core.scheduler import TransactionalProcessScheduler
+from repro.obs import MemorySink, TraceBus, replay_trace, validate_stream
+from repro.sim.runner import simulate_run
+from repro.sim.workload import WorkloadSpec, generate_workload
+
+
+@st.composite
+def workload_specs(draw):
+    """Random small workloads, with failures so compensations, native
+    rollbacks and aborts appear in the traces."""
+    return WorkloadSpec(
+        processes=draw(st.integers(2, 5)),
+        conflict_rate=draw(st.floats(0.0, 0.3)),
+        failure_rate=draw(st.floats(0.0, 0.5)),
+        alternative_probability=draw(st.floats(0.0, 1.0)),
+        service_pool=draw(st.integers(3, 8)),
+        prefix_range=(1, 3),
+        seed=draw(st.integers(0, 2**16)),
+    )
+
+
+def _traced_run(spec, use_runner):
+    workload = generate_workload(spec)
+    bus = TraceBus()
+    sink = bus.subscribe(MemorySink())
+    scheduler = TransactionalProcessScheduler(
+        conflicts=workload.conflicts, trace=bus
+    )
+    for process in workload.processes:
+        scheduler.submit(process, failures=workload.failures)
+    if use_runner:
+        simulate_run(scheduler, durations=workload.duration)
+    else:
+        scheduler.run()
+    return scheduler, sink.records()
+
+
+def _expected(scheduler):
+    schedule = [
+        (
+            event.process_id,
+            event.activity.activity_name,
+            event.activity.direction.exponent,
+            event.service,
+        )
+        for event in scheduler.history().events
+        if isinstance(event, ActivityEvent)
+    ]
+    terminal = {
+        pid: status.value for pid, status in scheduler.statuses().items()
+    }
+    return schedule, terminal
+
+
+@settings(max_examples=25, deadline=None)
+@given(spec=workload_specs(), use_runner=st.booleans())
+def test_replay_reconstructs_exact_history(spec, use_runner):
+    """replay_trace(trace) == the scheduler's certified history and
+    terminal states, under both the sync scheduler and the DES runner."""
+    scheduler, records = _traced_run(spec, use_runner)
+    schedule, terminal = _expected(scheduler)
+    replayed = replay_trace(records)
+    assert replayed["schedule"] == schedule
+    assert replayed["terminal"] == terminal
+
+
+@settings(max_examples=25, deadline=None)
+@given(spec=workload_specs())
+def test_traces_always_pass_schema_validation(spec):
+    """Every emitted stream validates against the event taxonomy with
+    monotone sequence numbers — the CI smoke job's invariant."""
+    _, records = _traced_run(spec, use_runner=True)
+    assert records
+    assert validate_stream(records) == []

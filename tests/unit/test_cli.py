@@ -204,7 +204,7 @@ class TestCrashpointsExitCodes:
         monkeypatch.setattr(
             crashpoints,
             "run_crashpoints",
-            lambda spec, file_faults=True: _FakeCrashSweep(False),
+            lambda spec, file_faults=True, **kwargs: _FakeCrashSweep(False),
         )
         rc = main(["crashpoints", "--seeds", "0"])
         assert rc == 1
@@ -228,7 +228,7 @@ class TestOverloadExitCodes:
         monkeypatch.setattr(
             overload,
             "overload_sweep",
-            lambda loads, base=None, seeds=(0,), certify=True: [
+            lambda loads, base=None, seeds=(0,), certify=True, **kwargs: [
                 _FakeOverloadResult(False)
             ],
         )
@@ -241,7 +241,7 @@ class TestOverloadExitCodes:
         monkeypatch.setattr(
             overload,
             "overload_sweep",
-            lambda loads, base=None, seeds=(0,), certify=True: [
+            lambda loads, base=None, seeds=(0,), certify=True, **kwargs: [
                 _FakeOverloadResult(True, frec_sheds=1)
             ],
         )
@@ -253,7 +253,7 @@ class TestOverloadExitCodes:
         monkeypatch.setattr(
             overload,
             "overload_sweep",
-            lambda loads, base=None, seeds=(0,), certify=True: [
+            lambda loads, base=None, seeds=(0,), certify=True, **kwargs: [
                 _FakeOverloadResult(True, committed=0)
             ],
         )
@@ -263,10 +263,138 @@ class TestOverloadExitCodes:
         import repro.sim.overload as overload
         from repro.errors import CorrectnessViolation
 
-        def boom(loads, base=None, seeds=(0,), certify=True):
+        def boom(loads, base=None, seeds=(0,), certify=True, **kwargs):
             raise CorrectnessViolation("history not PRED")
 
         monkeypatch.setattr(overload, "overload_sweep", boom)
         rc = main(["overload", "--loads", "1.0"])
         assert rc == 1
+        assert "error" in capsys.readouterr().err
+
+
+@pytest.fixture
+def traced_workload(tmp_path):
+    """Run a traced workload once; returns the obs artefact paths."""
+    trace = tmp_path / "trace.jsonl"
+    chrome = tmp_path / "chrome.json"
+    metrics = tmp_path / "metrics.prom"
+    rc = main([
+        "workload", "--processes", "4", "--conflicts", "0.3",
+        "--failures", "0.3", "--seed", "5",
+        "--trace", str(trace),
+        "--chrome-trace", str(chrome),
+        "--metrics", str(metrics),
+    ])
+    assert rc == 0
+    return trace, chrome, metrics
+
+
+class TestObservabilityFlags:
+    def test_workload_trace_exports_all_three_artefacts(self, traced_workload):
+        trace, chrome, metrics = traced_workload
+        assert trace.exists() and chrome.exists() and metrics.exists()
+        assert trace.stat().st_size > 0
+
+    def test_trace_file_passes_schema_validation(self, traced_workload):
+        from repro.obs import read_trace, validate_stream
+
+        trace, _, _ = traced_workload
+        records = read_trace(str(trace))
+        assert records
+        assert validate_stream(records) == []
+        kinds = {record["kind"] for record in records}
+        assert "run_begin" in kinds and "run_end" in kinds
+        assert "activity" in kinds and "exec" in kinds
+
+    def test_chrome_file_is_valid_trace_event_json(self, traced_workload):
+        from repro.obs import validate_chrome_trace
+
+        _, chrome, _ = traced_workload
+        document = json.loads(chrome.read_text())
+        assert validate_chrome_trace(document) == []
+
+    def test_metrics_file_is_prometheus_text(self, traced_workload):
+        _, _, metrics = traced_workload
+        text = metrics.read_text()
+        assert "# TYPE repro_perf_index_lookups counter" in text
+        assert "repro_sim_activity_duration_count" in text
+
+    def test_baseline_discipline_warns_but_runs(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        rc = main([
+            "workload", "--processes", "3", "--scheduler", "serial",
+            "--trace", str(trace),
+        ])
+        assert rc == 0
+        assert "baseline disciplines emit no events" in capsys.readouterr().err
+
+    def test_chaos_accepts_obs_flags(self, tmp_path, capsys):
+        trace = tmp_path / "chaos.jsonl"
+        rc = main([
+            "chaos", "--mix", "aborts", "--processes", "3",
+            "--seeds", "0", "--trace", str(trace),
+        ])
+        assert rc == 0
+        assert trace.exists()
+        content = trace.read_text()
+        assert '"fault"' in content  # chaos injections traced
+
+
+class TestExplainCommand:
+    def _trace_with_block(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        rc = main([
+            "workload", "--processes", "4", "--conflicts", "0.5",
+            "--seed", "1", "--trace", str(trace),
+        ])
+        assert rc == 0
+        return str(trace)
+
+    def test_explain_blocked_process_exits_zero(self, tmp_path, capsys):
+        path = self._trace_with_block(tmp_path)
+        capsys.readouterr()
+        rc = main(["explain", path])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "rule:" in out and "reason:" in out
+
+    def test_check_validates_schema(self, tmp_path, capsys):
+        path = self._trace_with_block(tmp_path)
+        capsys.readouterr()
+        rc = main(["explain", path, "--check"])
+        assert rc == 0
+        assert "trace OK" in capsys.readouterr().out
+
+    def test_unknown_target_exits_one(self, tmp_path, capsys):
+        path = self._trace_with_block(tmp_path)
+        capsys.readouterr()
+        rc = main(["explain", path, "no-such-process"])
+        assert rc == 1
+        assert "no blocking" in capsys.readouterr().err
+
+    def test_malformed_trace_is_a_typed_error_not_a_stack_trace(
+        self, tmp_path, capsys
+    ):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("this is not json\n")
+        rc = main(["explain", str(bad)])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "not valid JSON" in err
+        assert "Traceback" not in err
+
+    def test_schema_violation_with_check_exits_one(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text(
+            '{"seq":0,"ts":0,"kind":"bogus","cat":"sched",'
+            '"process":null,"activity":null,"data":{}}\n'
+        )
+        rc = main(["explain", str(bad), "--check"])
+        assert rc == 1
+        assert "invalid" in capsys.readouterr().err
+
+    def test_missing_trace_file_exits_two(self, capsys):
+        rc = main(["explain", "/nonexistent/trace.jsonl"])
+        assert rc == 2
         assert "error" in capsys.readouterr().err

@@ -1,0 +1,142 @@
+"""Unit tests for the structured trace bus and its sinks."""
+
+import json
+import logging
+
+import pytest
+
+from repro.obs import (
+    EVENT_CATEGORIES,
+    JsonlSink,
+    LoggingSink,
+    MemorySink,
+    TraceBus,
+    TraceEvent,
+    validate_stream,
+)
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+
+class TestTraceBus:
+    def test_disabled_until_a_sink_subscribes(self):
+        bus = TraceBus()
+        assert not bus.enabled
+        sink = bus.subscribe(MemorySink())
+        assert bus.enabled
+        bus.unsubscribe(sink)
+        assert not bus.enabled
+
+    def test_emit_without_sinks_is_a_noop(self):
+        bus = TraceBus()
+        bus.emit("submitted", process="P1")  # must not raise, must not buffer
+        sink = bus.subscribe(MemorySink())
+        assert len(sink) == 0
+
+    def test_seq_is_monotone_and_ts_follows_the_clock(self):
+        clock = FakeClock()
+        bus = TraceBus()
+        bus.attach_clock(clock)
+        sink = bus.subscribe(MemorySink())
+        bus.emit("submitted", process="P1")
+        clock.now = 2.5
+        bus.emit("activity", process="P1", activity="a1")
+        records = sink.records()
+        assert [r["seq"] for r in records] == [0, 1]
+        assert [r["ts"] for r in records] == [0.0, 2.5]
+        assert validate_stream(records) == []
+
+    def test_unknown_kind_rejected(self):
+        bus = TraceBus()
+        bus.subscribe(MemorySink())
+        with pytest.raises(KeyError):
+            bus.emit("no_such_kind")
+
+    def test_emit_payload_splits_correlation_ids_without_mutating(self):
+        bus = TraceBus()
+        sink = bus.subscribe(MemorySink())
+        payload = {"process": "P1", "activity": "a1", "rule": "R3-lemma1"}
+        bus.emit_payload("deferred", payload)
+        assert payload == {
+            "process": "P1",
+            "activity": "a1",
+            "rule": "R3-lemma1",
+        }
+        [record] = sink.records()
+        assert record["process"] == "P1"
+        assert record["activity"] == "a1"
+        assert record["data"] == {"rule": "R3-lemma1"}
+        assert record["cat"] == EVENT_CATEGORIES["deferred"]
+
+    def test_fan_out_reaches_every_sink(self):
+        bus = TraceBus()
+        first = bus.subscribe(MemorySink())
+        second = bus.subscribe(MemorySink())
+        bus.emit("offered", process="P1")
+        assert len(first) == len(second) == 1
+
+    def test_memory_sink_ring_bound(self):
+        bus = TraceBus()
+        sink = bus.subscribe(MemorySink(maxlen=2))
+        for _ in range(5):
+            bus.emit("offered", process="P1")
+        assert len(sink) == 2
+        assert [r["seq"] for r in sink.records()] == [3, 4]
+
+
+class TestJsonlSink:
+    def test_writes_one_compact_json_object_per_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        bus = TraceBus()
+        bus.subscribe(JsonlSink(str(path)))
+        bus.emit("submitted", process="P1")
+        bus.emit("terminated", process="P1", status="committed")
+        bus.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        records = [json.loads(line) for line in lines]
+        assert validate_stream(records) == []
+        assert records[1]["data"] == {"status": "committed"}
+
+    def test_close_is_idempotent(self, tmp_path):
+        sink = JsonlSink(str(tmp_path / "t.jsonl"))
+        sink.close()
+        sink.close()
+
+
+class TestLoggingSink:
+    def test_bridges_onto_stdlib_logging(self, caplog):
+        bus = TraceBus()
+        bus.subscribe(LoggingSink(level=logging.INFO))
+        with caplog.at_level(logging.INFO, logger="repro.trace"):
+            bus.emit("breaker_open", service="svc1", previous="closed")
+        assert any("breaker_open" in r.message for r in caplog.records)
+
+    def test_skips_formatting_when_level_disabled(self):
+        calls = []
+        bus = TraceBus()
+        bus.subscribe(
+            LoggingSink(
+                level=logging.DEBUG,
+                formatter=lambda event: calls.append(event) or "x",
+            )
+        )
+        logging.getLogger("repro.trace").setLevel(logging.WARNING)
+        try:
+            bus.emit("offered", process="P1")
+        finally:
+            logging.getLogger("repro.trace").setLevel(logging.NOTSET)
+        assert calls == []
+
+
+class TestTraceEventRoundtrip:
+    def test_to_dict_from_dict(self):
+        event = TraceEvent(3, 1.5, "deferred", "sched", "P1", "a1", {"k": 1})
+        clone = TraceEvent.from_dict(event.to_dict())
+        assert clone.seq == 3 and clone.ts == 1.5
+        assert clone.kind == "deferred" and clone.cat == "sched"
+        assert clone.process == "P1" and clone.activity == "a1"
+        assert clone.data == {"k": 1}

@@ -1,0 +1,149 @@
+"""Unit tests for decision explainability.
+
+Covers the issue's acceptance check: ``explain()`` on an activity
+blocked by a potential edge must name the exact conflicting
+``(activity, service)`` pairs from the serialization graph.
+"""
+
+import pytest
+
+from repro import (
+    ExplicitConflicts,
+    TransactionalProcessScheduler,
+    build_process,
+    comp,
+    pivot,
+    retr,
+    seq,
+)
+from repro.errors import UnknownProcessError
+from repro.obs import MemorySink, TraceBus, explain_trace
+from repro.obs.explain import GRAPH_RULES, RULES
+
+
+def _blocked_pair():
+    """A deterministic R3 (Lemma 1) block: B's pivot conflicts with the
+    still-active A's compensatable activity."""
+    conflicts = ExplicitConflicts().declare("a1", "b1")
+    scheduler = TransactionalProcessScheduler(conflicts=conflicts)
+    scheduler.submit(build_process("A", seq(comp("a1"), pivot("a2"), retr("a3"))))
+    scheduler.submit(build_process("B", seq(pivot("b1"), retr("b2"))))
+    assert scheduler.step_instance("A")  # records a1
+    scheduler.step_instance("B")  # pivot b1 must defer behind A
+    return scheduler
+
+
+class TestExplainScheduler:
+    def test_blocked_pivot_names_rule_and_conflicting_pairs(self):
+        scheduler = _blocked_pair()
+        explanation = scheduler.explain("B")
+        assert explanation.found
+        assert explanation.decision.rule == "R3-lemma1"
+        assert explanation.decision.activity == "b1"
+        assert "A" in explanation.decision.waiting_for
+        # the acceptance check: exact (activity, service) predecessors
+        assert explanation.conflict_pairs() == [("a1", "a1")]
+        [conflict] = explanation.conflicts
+        assert conflict["process"] == "A"
+        assert conflict["position"] == 0
+
+    def test_render_is_human_readable(self):
+        scheduler = _blocked_pair()
+        text = scheduler.explain("B").render()
+        assert "process B" in text
+        assert "R3-lemma1" in text
+        assert "Lemma 1" in text
+        assert "'a1'" in text
+
+    def test_unknown_process_raises_typed_error(self):
+        scheduler = _blocked_pair()
+        with pytest.raises(UnknownProcessError):
+            scheduler.explain("nope")
+
+    def test_unblocked_process_reports_no_decision(self):
+        conflicts = ExplicitConflicts()
+        scheduler = TransactionalProcessScheduler(conflicts=conflicts)
+        scheduler.submit(build_process("A", seq(pivot("a1"), retr("a2"))))
+        scheduler.run()
+        explanation = scheduler.explain("A")
+        # the process committed without ever being deferred
+        assert explanation.status == "committed"
+        assert not explanation.found
+
+    def test_every_graph_rule_has_prose(self):
+        for rule in GRAPH_RULES:
+            assert rule in RULES
+        for rule, text in RULES.items():
+            assert text, rule
+
+
+class TestExplainTrace:
+    def _traced_blocked_records(self):
+        conflicts = ExplicitConflicts().declare("a1", "b1")
+        bus = TraceBus()
+        sink = bus.subscribe(MemorySink())
+        scheduler = TransactionalProcessScheduler(
+            conflicts=conflicts, trace=bus
+        )
+        scheduler.submit(
+            build_process("A", seq(comp("a1"), pivot("a2"), retr("a3")))
+        )
+        scheduler.submit(build_process("B", seq(pivot("b1"), retr("b2"))))
+        scheduler.step_instance("A")
+        scheduler.step_instance("B")
+        return sink.records()
+
+    def test_offline_explanation_carries_conflict_pairs(self):
+        records = self._traced_blocked_records()
+        explanation = explain_trace(records, target="B")
+        assert explanation is not None
+        assert explanation.decision.rule == "R3-lemma1"
+        # conflicts were embedded in the deferred event at emit time
+        assert explanation.conflict_pairs() == [("a1", "a1")]
+
+    def test_target_by_activity_name(self):
+        records = self._traced_blocked_records()
+        explanation = explain_trace(records, target="b1")
+        assert explanation is not None
+        assert explanation.decision.process == "B"
+
+    def test_without_target_picks_first_blocked_process(self):
+        records = self._traced_blocked_records()
+        explanation = explain_trace(records)
+        assert explanation is not None
+        assert explanation.decision.process == "B"
+
+    def test_no_decision_returns_none(self):
+        records = [
+            {"seq": 0, "ts": 0.0, "kind": "submitted", "cat": "sched",
+             "process": "P1", "activity": None, "data": {}},
+        ]
+        assert explain_trace(records) is None
+        assert explain_trace(records, target="P1") is None
+
+    def test_rejection_defaults_to_admission_rule(self):
+        records = [
+            {"seq": 0, "ts": 0.0, "kind": "rejected", "cat": "admission",
+             "process": "P9", "activity": None,
+             "data": {"reason": "queue full"}},
+        ]
+        explanation = explain_trace(records, target="P9")
+        assert explanation.decision.rule == "admission"
+        assert explanation.decision.kind == "rejected"
+
+
+class TestDecisionRecordsOnScheduler:
+    def test_victim_decision_survives_the_abort(self):
+        # a decision record written by victim selection must not be
+        # clobbered by the abort cascade that follows
+        conflicts = ExplicitConflicts().declare("a1", "b1")
+        scheduler = TransactionalProcessScheduler(conflicts=conflicts)
+        scheduler.submit(
+            build_process("A", seq(comp("a1"), pivot("a2"), retr("a3")))
+        )
+        scheduler.step_instance("A")
+        scheduler.abort("A", "test abort")
+        scheduler.run()
+        decision = scheduler.decisions.get("A")
+        assert decision is not None
+        assert decision.kind == "abort"

@@ -1,0 +1,176 @@
+"""Unit tests for trace exporters: JSONL, Chrome trace-event, spans."""
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError, ReproError, TraceFormatError
+from repro.obs import (
+    JsonlSink,
+    TraceBus,
+    chrome_trace,
+    derive_spans,
+    read_trace,
+    validate_chrome_trace,
+    validate_stream,
+    write_chrome_trace,
+)
+
+
+def _make_trace(tmp_path):
+    path = str(tmp_path / "trace.jsonl")
+    bus = TraceBus()
+    bus.subscribe(JsonlSink(path))
+    bus.emit("submitted", process="P1")
+    bus.emit(
+        "activity", process="P1", activity="a1",
+        direction=1, service="s1", position=0,
+    )
+    bus.emit(
+        "exec", process="P1", activity="a1",
+        service="s1", duration=2.0, direction=1,
+    )
+    bus.emit("terminated", process="P1", status="committed")
+    bus.close()
+    return path
+
+
+class TestReadTrace:
+    def test_roundtrip(self, tmp_path):
+        path = _make_trace(tmp_path)
+        records = read_trace(path)
+        assert [r["kind"] for r in records] == [
+            "submitted", "activity", "exec", "terminated",
+        ]
+        assert validate_stream(records) == []
+
+    def test_invalid_json_raises_typed_error_with_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"seq":0,"ts":0,"kind":"offered","cat":"admission"}\nnot json\n')
+        with pytest.raises(TraceFormatError) as excinfo:
+            read_trace(str(path))
+        assert excinfo.value.line == 2
+        assert isinstance(excinfo.value, ObservabilityError)
+        assert isinstance(excinfo.value, ReproError)
+
+    def test_non_object_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("[1, 2]\n")
+        with pytest.raises(TraceFormatError):
+            read_trace(str(path))
+
+    def test_missing_keys_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"seq": 0}\n')
+        with pytest.raises(TraceFormatError) as excinfo:
+            read_trace(str(path))
+        assert "missing keys" in str(excinfo.value)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            '{"seq":0,"ts":0,"kind":"offered","cat":"admission"}\n\n'
+        )
+        assert len(read_trace(str(path))) == 1
+
+    def test_missing_file_raises_file_not_found(self):
+        with pytest.raises(FileNotFoundError):
+            read_trace("/nonexistent/trace.jsonl")
+
+
+class TestValidateStream:
+    def test_flags_unknown_kind_and_wrong_cat(self):
+        records = [
+            {"seq": 0, "ts": 0.0, "kind": "bogus", "cat": "sched",
+             "process": None, "activity": None, "data": {}},
+            {"seq": 1, "ts": 0.0, "kind": "offered", "cat": "sched",
+             "process": "P", "activity": None, "data": {}},
+        ]
+        errors = validate_stream(records)
+        assert any("unknown event kind" in e for e in errors)
+        assert any("belongs to category" in e for e in errors)
+
+    def test_flags_non_monotone_seq(self):
+        record = {"seq": 5, "ts": 0.0, "kind": "offered", "cat": "admission",
+                  "process": "P", "activity": None, "data": {}}
+        errors = validate_stream([record, dict(record, seq=5)])
+        assert any("not increasing" in e for e in errors)
+
+
+class TestSpans:
+    def test_exec_queue_and_process_spans(self, tmp_path):
+        records = read_trace(_make_trace(tmp_path))
+        spans = derive_spans(records)
+        names = [span.name for span in spans]
+        assert "a1@s1" in names
+        assert "process P1" in names
+        exec_span = next(s for s in spans if s.name == "a1@s1")
+        assert exec_span.duration == 2.0
+
+    def test_queue_wait_span(self):
+        records = [
+            {"seq": 0, "ts": 1.0, "kind": "queued", "cat": "admission",
+             "process": "P1", "activity": None, "data": {}},
+            {"seq": 1, "ts": 4.0, "kind": "admitted", "cat": "admission",
+             "process": "P1", "activity": None, "data": {}},
+        ]
+        spans = derive_spans(records)
+        wait = next(s for s in spans if s.name == "queue wait")
+        assert wait.start == 1.0 and wait.end == 4.0
+
+    def test_truncated_stream_closes_spans_at_last_ts(self):
+        records = [
+            {"seq": 0, "ts": 1.0, "kind": "submitted", "cat": "sched",
+             "process": "P1", "activity": None, "data": {}},
+            {"seq": 1, "ts": 9.0, "kind": "offered", "cat": "admission",
+             "process": "P2", "activity": None, "data": {}},
+        ]
+        spans = derive_spans(records)
+        process_span = next(s for s in spans if s.name == "process P1")
+        assert process_span.end == 9.0
+
+
+class TestChromeTrace:
+    def test_document_is_valid_and_loadable(self, tmp_path):
+        records = read_trace(_make_trace(tmp_path))
+        document = chrome_trace(records)
+        assert validate_chrome_trace(document) == []
+        assert document["displayTimeUnit"] == "ms"
+
+    def test_scheduler_lane_is_pid_zero(self):
+        records = [
+            {"seq": 0, "ts": 0.0, "kind": "checkpoint", "cat": "sched",
+             "process": None, "activity": None, "data": {"lsn": 3}},
+        ]
+        document = chrome_trace(records)
+        metadata = [e for e in document["traceEvents"] if e["ph"] == "M"]
+        assert any(
+            e["pid"] == 0 and e["args"]["name"] == "scheduler"
+            for e in metadata
+        )
+
+    def test_sim_units_render_as_milliseconds(self, tmp_path):
+        records = read_trace(_make_trace(tmp_path))
+        document = chrome_trace(records)
+        spans = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        exec_event = next(e for e in spans if e["name"] == "a1@s1")
+        assert exec_event["dur"] == 2000.0  # 2 sim units -> 2000 us
+
+    def test_write_chrome_trace_roundtrips(self, tmp_path):
+        records = read_trace(_make_trace(tmp_path))
+        out = tmp_path / "chrome.json"
+        write_chrome_trace(str(out), records)
+        document = json.loads(out.read_text())
+        assert validate_chrome_trace(document) == []
+
+    def test_validator_catches_structural_problems(self):
+        assert validate_chrome_trace([]) == ["document must be a JSON object"]
+        assert validate_chrome_trace({}) == [
+            "document must have a 'traceEvents' array"
+        ]
+        broken = {"traceEvents": [{"ph": "X", "name": "x", "pid": 0,
+                                   "tid": 0, "ts": 1.0}]}
+        assert any("dur" in e for e in validate_chrome_trace(broken))
+        bad_instant = {"traceEvents": [{"ph": "i", "name": "x", "pid": 0,
+                                        "tid": 0, "ts": 1.0, "s": "q"}]}
+        assert any("scope" in e for e in validate_chrome_trace(bad_instant))

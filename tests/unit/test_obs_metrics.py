@@ -1,0 +1,136 @@
+"""Unit tests for the metrics registry and the perf-counter facade."""
+
+from repro.core.perf import PerfCounters
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounterNumericProtocol:
+    def test_iadd_and_int(self):
+        counter = Counter("c")
+        counter += 1
+        counter += 2
+        assert int(counter) == 3
+        assert counter == 3 and counter != 2
+        assert counter > 2 and counter >= 3 and counter < 4 and counter <= 3
+
+    def test_arithmetic_returns_plain_numbers(self):
+        counter = Counter("c", 10)
+        assert counter + 5 == 15
+        assert 5 + counter == 15
+        assert counter - 4 == 6
+        assert 14 - counter == 4
+        assert counter * 2 == 20
+        assert counter / 4 == 2.5
+        assert 100 / counter == 10.0
+        assert round(Counter("f", 1.2345), 2) == 1.23
+
+    def test_counter_vs_counter_comparison(self):
+        assert Counter("a", 2) == Counter("b", 2)
+        assert Counter("a", 1) < Counter("b", 2)
+
+    def test_bool_and_index(self):
+        assert not Counter("z")
+        assert Counter("o", 1)
+        assert list(range(3))[Counter("i", 1)] == 1
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("depth")
+        gauge.set(5)
+        gauge.inc()
+        gauge.dec(2)
+        assert int(gauge) == 4
+
+
+class TestHistogram:
+    def test_summary_percentiles(self):
+        histogram = Histogram("h")
+        for value in range(1, 101):
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert summary["count"] == 100
+        assert summary["sum"] == 5050
+        assert summary["p50"] == 50.5
+        assert abs(summary["p95"] - 95.05) < 1e-6
+        assert summary["max"] == 100
+
+    def test_empty_summary_is_zeroes(self):
+        summary = Histogram("h").summary()
+        assert summary["count"] == 0
+        assert summary["p99"] == 0.0
+
+    def test_sample_cap_drops_oldest_half(self):
+        histogram = Histogram("h", max_samples=10)
+        for value in range(20):
+            histogram.observe(value)
+        assert histogram.count == 20  # count and sum stay exact
+        assert len(histogram._samples) <= 10
+        assert min(histogram._samples) >= 5  # old half evicted
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_snapshot_flattens_histograms(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc(3)
+        registry.gauge("depth").set(7)
+        registry.histogram("lat").observe(2.0)
+        snapshot = registry.snapshot()
+        assert snapshot["hits"] == 3
+        assert snapshot["depth"] == 7
+        assert snapshot["lat.count"] == 1
+        assert snapshot["lat.p50"] == 2.0
+
+    def test_prometheus_text_format(self):
+        registry = MetricsRegistry()
+        registry.counter("perf.index_lookups").inc(4)
+        registry.gauge("queue.depth").set(2)
+        registry.histogram("sim.sojourn").observe(1.5)
+        text = registry.to_prometheus()
+        assert "# TYPE repro_perf_index_lookups counter" in text
+        assert "repro_perf_index_lookups 4" in text
+        assert "# TYPE repro_queue_depth gauge" in text
+        assert 'repro_sim_sojourn{quantile="0.95"} 1.5' in text
+        assert "repro_sim_sojourn_count 1" in text
+        assert text.endswith("\n")
+
+
+class TestPerfFacade:
+    def test_perf_counters_back_onto_a_registry(self):
+        registry = MetricsRegistry()
+        perf = PerfCounters(registry=registry)
+        perf.index_lookups += 2
+        perf.graph_events += 1
+        assert registry.counter("perf.index_lookups") == 2
+        snapshot = perf.snapshot()
+        assert snapshot["index_lookups"] == 2
+        assert snapshot["graph_events"] == 1
+        assert isinstance(snapshot["index_lookups"], int)
+
+    def test_snapshot_layout_unchanged(self):
+        snapshot = PerfCounters().snapshot()
+        for key in (
+            "index_lookups",
+            "log_scans",
+            "edge_updates",
+            "graph_events",
+            "graph_rebuilds",
+            "topo_shifts",
+            "topo_recomputes",
+            "cycle_fast_path",
+            "cycle_dfs",
+            "certified_prefixes",
+            "certify_ms",
+        ):
+            assert key in snapshot
+
+    def test_extra_entries_merge_into_snapshot(self):
+        perf = PerfCounters()
+        perf.extra["conflict_cache_hits"] = 9
+        assert perf.snapshot()["conflict_cache_hits"] == 9
