@@ -47,6 +47,16 @@ Commands
     shed table per offered load; exits non-zero unless every run
     certifies with zero F-REC sheds and positive goodput.
 
+``federation``
+    Sharded scheduler federation: partition processes across N shards
+    by service footprint, commit cross-shard groups through the
+    crash-tolerant 2PC, and (with ``--kill``) kill and recover every
+    shard mid-run while drop/delay/duplicate/partition faults hit the
+    inter-shard links.  ``--scaling`` runs the service-disjoint
+    throughput-scaling sweep instead.  Exits non-zero unless every
+    merged history PRED-certifies with zero lost / duplicated commit
+    decisions, no in-doubt residue and no lost processes.
+
 ``explain <trace.jsonl> [target]``
     Explain the last blocking/rejecting/aborting decision recorded in
     an exported trace: the protocol rule that fired (Lemma 1/2/3,
@@ -55,7 +65,8 @@ Commands
     schema first.
 
 The run commands (``workload``, ``chaos``, ``overload``,
-``crashpoints``) all accept ``--trace PATH`` (structured JSONL trace),
+``crashpoints``, ``federation``) all accept ``--trace PATH``
+(structured JSONL trace),
 ``--chrome-trace PATH`` (Chrome/Perfetto trace-event JSON) and
 ``--metrics PATH`` (Prometheus text format).
 """
@@ -543,6 +554,88 @@ def _cmd_overload(args: argparse.Namespace) -> int:
     return 0 if healthy else 1
 
 
+def _cmd_federation(args: argparse.Namespace) -> int:
+    from repro.sim.federation import (
+        FederationSpec,
+        run_federation,
+        scaling_sweep,
+    )
+
+    obs = _ObsSession(args)
+    try:
+        if args.scaling:
+            counts = tuple(
+                count for count in (1, 2, 4, 8) if count <= args.shards
+            )
+            results = scaling_sweep(
+                counts, seeds=args.seeds, trace=obs.bus
+            )
+        else:
+            groups = max(args.shards, 2 * args.shards)
+            base = FederationSpec(
+                shards=args.shards,
+                service_groups=groups,
+                processes_per_group=args.processes,
+                cross_shard_fraction=args.cross,
+                conflict_rate=args.conflicts,
+                shard_capacity=args.capacity,
+                drop_rate=args.drop,
+                delay_rate=args.delay,
+                duplicate_rate=args.duplicate,
+                kills=tuple(
+                    (args.kill_start + args.kill_spacing * index, index,
+                     args.downtime)
+                    for index in range(args.shards)
+                ) if args.kill else (),
+                partitions=tuple(
+                    (2.0 + 4.0 * index, index, index + 1, 2.0)
+                    for index in range(args.partitions)
+                ) if args.shards > 1 else (),
+            )
+            results = [
+                run_federation(
+                    base.with_seed(seed), strict=False, trace=obs.bus
+                )
+                for seed in args.seeds
+            ]
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    finally:
+        for note in obs.finish():
+            print(note, file=sys.stderr)
+    title = "federation scaling sweep" if args.scaling else (
+        "federation chaos sweep" if args.kill else "federation sweep"
+    )
+    print(format_table([result.row() for result in results], title=title))
+    certified = sum(1 for result in results if result.certified)
+    lost = sum(len(result.lost_decisions) for result in results)
+    dups = sum(len(result.dup_applications) for result in results)
+    residue = sum(len(result.in_doubt_residue) for result in results)
+    lost_procs = sum(len(result.lost_processes) for result in results)
+    print(
+        f"\n{certified}/{len(results)} runs certified "
+        f"(PRED + reducible + terminated + audit); "
+        f"{lost} lost decisions, {dups} duplicated applications, "
+        f"{residue} in-doubt residue, {lost_procs} lost processes "
+        f"(all must be 0)"
+    )
+    if args.scaling and len(results) > 1:
+        by_shards = {result.spec.shards: result for result in results}
+        low = by_shards[min(by_shards)]
+        high = by_shards[max(by_shards)]
+        if low.throughput > 0:
+            print(
+                f"throughput x{high.throughput / low.throughput:.2f} at "
+                f"{high.spec.shards} shards vs {low.spec.shards}"
+            )
+    healthy = (
+        certified == len(results)
+        and not (lost or dups or residue or lost_procs)
+    )
+    return 0 if healthy else 1
+
+
 def _cmd_explain(args: argparse.Namespace) -> int:
     records = read_trace(args.trace)
     if args.check:
@@ -811,6 +904,79 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_obs_arguments(overload)
     overload.set_defaults(handler=_cmd_overload)
+
+    federation = commands.add_parser(
+        "federation",
+        help="sharded federation: scaling and shard-kill chaos sweeps",
+    )
+    federation.add_argument(
+        "--shards", type=int, default=3, help="scheduler shards"
+    )
+    federation.add_argument(
+        "--processes", type=int, default=2, help="processes per service group"
+    )
+    federation.add_argument(
+        "--cross",
+        type=float,
+        default=0.35,
+        help="fraction of processes with a cross-shard footprint",
+    )
+    federation.add_argument(
+        "--conflicts",
+        type=float,
+        default=0.05,
+        help="probability that two services conflict",
+    )
+    federation.add_argument(
+        "--capacity", type=int, default=4, help="per-shard activity capacity"
+    )
+    federation.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2])
+    federation.add_argument(
+        "--drop", type=float, default=0.0, help="message drop rate"
+    )
+    federation.add_argument(
+        "--delay", type=float, default=0.0, help="message delay rate"
+    )
+    federation.add_argument(
+        "--duplicate", type=float, default=0.0, help="message duplicate rate"
+    )
+    federation.add_argument(
+        "--partitions",
+        type=int,
+        default=0,
+        help="number of timed network-partition windows to inject",
+    )
+    federation.add_argument(
+        "--kill",
+        action="store_true",
+        help="kill and recover every shard once (staggered)",
+    )
+    federation.add_argument(
+        "--kill-start",
+        type=float,
+        default=4.0,
+        help="virtual time of the first shard kill",
+    )
+    federation.add_argument(
+        "--kill-spacing",
+        type=float,
+        default=8.0,
+        help="virtual time between successive shard kills",
+    )
+    federation.add_argument(
+        "--downtime",
+        type=float,
+        default=4.0,
+        help="how long a killed shard stays down",
+    )
+    federation.add_argument(
+        "--scaling",
+        action="store_true",
+        help="run the service-disjoint scaling sweep (1..--shards shards) "
+        "instead of the chaos workload",
+    )
+    _add_obs_arguments(federation)
+    federation.set_defaults(handler=_cmd_federation)
 
     explain = commands.add_parser(
         "explain",

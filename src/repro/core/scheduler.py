@@ -315,6 +315,7 @@ class TransactionalProcessScheduler:
         watchdogs: Optional[WatchdogConfig] = None,
         trace: Optional[object] = None,
         metrics: Optional[MetricsRegistry] = None,
+        coordinator: Optional[TwoPhaseCoordinator] = None,
     ) -> None:
         self.registry = registry if registry is not None else SubsystemRegistry()
         self.rules = rules if rules is not None else SchedulerRules()
@@ -333,7 +334,15 @@ class TransactionalProcessScheduler:
             self.conflicts = explicit
         self._managed: Dict[str, ManagedProcess] = {}
         self._log: List[_LogEntry] = []
-        self._coordinator = TwoPhaseCoordinator(wal=wal)
+        #: Injectable atomic-commitment coordinator: the federation
+        #: layer substitutes a cross-shard coordinator here so pivot
+        #: groups spanning shards commit through the message-based
+        #: protocol instead of the local fast path.
+        self._coordinator = (
+            coordinator
+            if coordinator is not None
+            else TwoPhaseCoordinator(wal=wal)
+        )
         self._interleaving = interleaving or (lambda ids: ids)
         self._closed = False
         #: Auto-checkpoint the WAL every N scheduler appends (``None``
@@ -1635,10 +1644,22 @@ class TransactionalProcessScheduler:
         if not group.committed:
             # A vetoed group is rolled back by the coordinator; the
             # invocations never happened, so the process aborts.  This
-            # also rewrites the past, so re-certify from scratch.
+            # also rewrites the past, so re-certify from scratch.  The
+            # rollback is durable: without the log records, a forward
+            # re-execution of a vetoed leg (F-REC after the abort)
+            # would be indistinguishable from the vetoed one in the
+            # recovered timeline.
             self._reset_certifier()
             for prepared in managed.prepared:
                 self._mark_rolled_back(prepared.log_position)
+                self._wal(
+                    {
+                        "type": "activity_rollback",
+                        "process": managed.process_id,
+                        "activity": prepared.activity_name,
+                        "txn": prepared.txn_id,
+                    }
+                )
             managed.prepared.clear()
             self._begin_abort(
                 managed,

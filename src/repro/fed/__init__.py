@@ -1,0 +1,44 @@
+"""Sharded scheduler federation with crash-tolerant cross-shard 2PC.
+
+Partitions processes across N scheduler shards by service footprint
+(:mod:`repro.fed.router`), runs cross-shard pivot groups through a
+message-based presumed-abort 2PC with a cooperative termination
+protocol (:mod:`repro.fed.twopc`) over a fault-injected network
+(:mod:`repro.fed.messages`), exchanges conflict knowledge between
+shards, and merges every shard's surviving history into one globally
+stamped, PRED-certifiable schedule (:mod:`repro.fed.federation`,
+driven by :mod:`repro.fed.runner`).
+"""
+
+from repro.fed.federation import (
+    Federation,
+    FederationAudit,
+    ForeignProcess,
+    ForeignSubsystem,
+    Shard,
+)
+from repro.fed.messages import Envelope, FederationNetwork, MessageFaultPolicy
+from repro.fed.router import ShardRouter
+from repro.fed.runner import FederationRunMetrics, FederationRunner
+from repro.fed.twopc import (
+    CrossShardCoordinator,
+    DecisionLedger,
+    ShardCommitAgent,
+)
+
+__all__ = [
+    "CrossShardCoordinator",
+    "DecisionLedger",
+    "Envelope",
+    "Federation",
+    "FederationAudit",
+    "FederationNetwork",
+    "FederationRunMetrics",
+    "FederationRunner",
+    "ForeignProcess",
+    "ForeignSubsystem",
+    "MessageFaultPolicy",
+    "Shard",
+    "ShardCommitAgent",
+    "ShardRouter",
+]

@@ -68,10 +68,20 @@ EVENT_CATEGORIES: Dict[str, str] = {
     "run_begin": "sim",  # a simulation/harness run started
     "run_end": "sim",  # a simulation/harness run finished
     "exec": "sim",  # activity execution span (service, duration)
+    # -- federation layer (category "fed") -----------------------------
+    "shard_kill": "fed",  # a whole scheduler shard crash-stopped
+    "shard_recovered": "fed",  # a killed shard completed WAL recovery
+    "msg_fault": "fed",  # inter-shard message fault (drop/delay/dup/partition)
+    "edge_exchange": "fed",  # conflict announcement shipped between shards
+    "xshard_begin": "fed",  # cross-shard 2PC group entered the vote phase
+    "xshard_decision": "fed",  # cross-shard commit/abort decision logged
+    "xshard_end": "fed",  # cross-shard group fully acknowledged
+    "xshard_indoubt": "fed",  # participant holding an in-doubt vote
+    "xshard_resolved": "fed",  # termination protocol resolved an in-doubt group
 }
 
 #: All categories, in display order.
-CATEGORIES = ("sched", "admission", "resilience", "wal", "chaos", "sim")
+CATEGORIES = ("sched", "admission", "resilience", "wal", "chaos", "sim", "fed")
 
 
 class TraceEvent:

@@ -76,6 +76,30 @@ RULES: Dict[str, str] = {
     "load-shed": "load shedding: a B-REC process was cancelled to relieve overload",
     "deadlock-victim": "deadlock resolution: chosen as the cheapest abort victim",
     "abort": "process abort (requested or cascading)",
+    "fed-in-doubt-hold": (
+        "federation in-doubt hold: this shard voted YES in a cross-shard "
+        "2PC group and the coordinator's decision is unknown — the "
+        "prepared transactions stay held (neither committed nor presumed "
+        "aborted) until the termination protocol resolves the group"
+    ),
+    "fed-termination-protocol": (
+        "federation termination protocol: an in-doubt cross-shard group "
+        "was resolved cooperatively — by asking the recovered "
+        "coordinator (or a peer participant) for the logged decision, or "
+        "by presumed abort once the coordinator provably never decided"
+    ),
+    "fed-shard-unreachable": (
+        "federation shard-unreachable defer: the activity's service is "
+        "owned by a shard that is dead, partitioned away, or behind an "
+        "open inter-shard breaker; the step is deferred until the link "
+        "heals rather than risking a split-brain dispatch"
+    ),
+    "fed-foreign-conflict": (
+        "federation foreign-conflict defer: an edge-exchange announcement "
+        "shows a conflicting predecessor on another shard that has not "
+        "terminated yet — dispatching now could make the merged "
+        "cross-shard history irreducible, so the step waits"
+    ),
 }
 
 #: Rules whose explanation is backed by concrete conflicting

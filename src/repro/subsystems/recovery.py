@@ -45,7 +45,7 @@ full history and per-phase details.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.core.activity import Direction
 from repro.core.conflict import ConflictRelation
@@ -66,8 +66,13 @@ __all__ = [
     "analyze_wal",
     "replay_history",
     "RecoveryReport",
+    "TxnFilter",
     "recover",
 ]
+
+#: Predicate restricting phase-2 in-doubt resolution to transactions a
+#: node owns; receives (subsystem_name, txn_id).
+TxnFilter = Callable[[str, str], bool]
 
 
 @dataclass
@@ -97,6 +102,12 @@ class WalScanState:
     decided_groups: Set[str] = field(default_factory=set)
     #: Groups whose phase 2 completed.
     ended_groups: Set[str] = field(default_factory=set)
+    #: transaction id -> group for cross-coordinator groups this node
+    #: voted YES on (``2pc_vote`` records).  A voted transaction must
+    #: not be unilaterally presumed aborted: the remote coordinator may
+    #: still decide commit, so recovery holds it in doubt for the
+    #: cooperative termination protocol.
+    voted_txns: Dict[str, str] = field(default_factory=dict)
     #: Restartable-recovery bookkeeping.
     recovery_begun: int = 0
     recovery_ended: int = 0
@@ -137,12 +148,25 @@ class WalScanState:
             self.rolled_back.add(
                 (str(record["process"]), str(record["activity"]))
             )
+            # Position matters: a rollback cancels the nearest preceding
+            # surviving forward event of this activity, so a later
+            # forward *re-execution* (F-REC after a vetoed group) is a
+            # distinct surviving event.
+            self.timeline.append(
+                ["rollback", str(record["process"]), str(record["activity"])]
+            )
         elif kind == "2pc_begin":
             group = str(record["group"])
             for participant in record.get("participants", ()):  # type: ignore[union-attr]
                 # Participants are logged as "subsystem:txn_id".
                 txn_id = str(participant).split(":", 1)[-1]
                 self.txn_groups[txn_id] = group
+        elif kind == "2pc_vote":
+            group = str(record["group"])
+            for participant in record.get("participants", ()):  # type: ignore[union-attr]
+                txn_id = str(participant).split(":", 1)[-1]
+                self.txn_groups[txn_id] = group
+                self.voted_txns[txn_id] = group
         elif kind == "2pc_commit":
             self.decided_groups.add(str(record["group"]))
         elif kind == "2pc_end":
@@ -180,6 +204,7 @@ class WalScanState:
             txn_groups=dict(self.txn_groups),
             decided_groups=set(self.decided_groups),
             ended_groups=set(self.ended_groups),
+            voted_txns=dict(self.voted_txns),
             recovery_begun=self.recovery_begun,
             recovery_ended=self.recovery_ended,
             recovery_pending=list(self.recovery_pending),
@@ -196,6 +221,7 @@ class WalScanState:
             "txn_groups": dict(self.txn_groups),
             "decided_groups": sorted(self.decided_groups),
             "ended_groups": sorted(self.ended_groups),
+            "voted_txns": dict(self.voted_txns),
             "recovery_begun": self.recovery_begun,
             "recovery_ended": self.recovery_ended,
             "recovery_pending": list(self.recovery_pending),
@@ -221,6 +247,10 @@ class WalScanState:
             },
             ended_groups={
                 str(group) for group in payload.get("ended_groups", ())  # type: ignore[union-attr]
+            },
+            voted_txns={
+                str(txn): str(group)
+                for txn, group in dict(payload.get("voted_txns", {})).items()  # type: ignore[arg-type]
             },
             recovery_begun=int(payload.get("recovery_begun", 0)),  # type: ignore[arg-type]
             recovery_ended=int(payload.get("recovery_ended", 0)),  # type: ignore[arg-type]
@@ -270,6 +300,9 @@ class WalAnalysis:
     txn_groups: Dict[str, str] = field(default_factory=dict)
     #: Groups with a logged commit decision.
     decided_groups: Set[str] = field(default_factory=set)
+    #: transaction id -> group voted YES for a remote coordinator; held
+    #: in doubt instead of presumed aborted (termination protocol).
+    voted_txns: Dict[str, str] = field(default_factory=dict)
     #: Recoveries begun (restartable-recovery attempt counter).
     recovery_attempts: int = 0
     #: Processes of a recovery that began but never logged its end — a
@@ -301,6 +334,7 @@ def _resolve(state: WalScanState) -> WalAnalysis:
         aborted=set(state.aborted),
         txn_groups=dict(state.txn_groups),
         decided_groups=set(state.decided_groups),
+        voted_txns=dict(state.voted_txns),
         recovery_attempts=state.recovery_begun,
         recovery_pending=list(state.recovery_pending),
         records_scanned=state.records_scanned,
@@ -308,7 +342,33 @@ def _resolve(state: WalScanState) -> WalAnalysis:
     analysis.in_doubt_committed_groups = sorted(
         state.decided_groups - state.ended_groups
     )
+    # Processes covered by a decided harden group.  Cross-shard groups
+    # carry an incarnation suffix (``harden:<pid>#<n>``) so retries of
+    # a vetoed group get fresh identities; strip it here.
+    hardened: Set[str] = set()
+    for group in state.decided_groups:
+        if group.startswith("harden:"):
+            hardened.add(group[len("harden:"):].partition("#")[0])
+    # A rollback record cancels the nearest preceding surviving forward
+    # event of its activity — positional, so that a later forward
+    # re-execution of the same activity (F-REC after a vetoed group)
+    # survives as its own event.
+    entries: List[Optional[List[object]]] = []
+    open_forward: Dict[Tuple[str, str], List[int]] = {}
     for entry in state.timeline:
+        if entry[0] == "rollback":
+            rolled = (str(entry[1]), str(entry[2]))
+            stack = open_forward.get(rolled)
+            if stack:
+                entries[stack.pop()] = None
+            continue
+        if entry[0] == "event" and int(entry[3]) == 1:  # type: ignore[arg-type]
+            forward = (str(entry[1]), str(entry[2]))
+            open_forward.setdefault(forward, []).append(len(entries))
+        entries.append(list(entry))
+    for entry in entries:
+        if entry is None:
+            continue
         kind = entry[0]
         if kind in ("commit", "abort"):
             analysis.timeline.append((kind, str(entry[1])))
@@ -318,13 +378,11 @@ def _resolve(state: WalScanState) -> WalAnalysis:
         activity = str(activity)
         direction = int(direction)  # type: ignore[arg-type]
         key = (process_id, activity)
-        if direction == 1 and key in state.rolled_back:
-            continue
         if (
             direction == 1
             and was_prepared
             and process_id not in analysis.committed
-            and f"harden:{process_id}" not in state.decided_groups
+            and process_id not in hardened
         ):
             # Prepared, never covered by a commit decision: presumed
             # aborted; the invocation's effects never became durable.
@@ -396,6 +454,10 @@ class RecoveryReport:
     #: Prepared transactions rolled back during in-doubt resolution.
     rolled_back_in_doubt: int = 0
     re_committed_in_doubt: int = 0
+    #: (subsystem, txn_id) pairs left prepared because this node voted
+    #: YES for a remote coordinator whose decision is unknown — the
+    #: federation's termination protocol resolves them.
+    held_in_doubt: Tuple[Tuple[str, str], ...] = ()
     #: This recovery resumed one that crashed mid-group-abort.
     resumed: bool = False
     #: Nothing was active: recovery appended and executed nothing.
@@ -408,11 +470,19 @@ def recover(
     processes: Mapping[str, Process],
     conflicts: Optional[ConflictRelation] = None,
     rules: Optional[SchedulerRules] = None,
+    txn_filter: Optional[TxnFilter] = None,
+    coordinator: Optional[object] = None,
 ) -> RecoveryReport:
     """Run restart recovery; returns the report with the full history.
 
     ``processes`` maps instance ids (as submitted pre-crash) to their
     templates — the process repository every workflow system persists.
+
+    ``txn_filter`` restricts phase-2 in-doubt resolution to the prepared
+    transactions this node owns — a federated shard shares subsystem
+    objects with its peers and must not resolve *their* transactions.
+    ``coordinator`` is passed through to the recovered scheduler (a
+    shard substitutes its cross-shard coordinator).
 
     Restartable: a crash during a previous recovery is resumed (the
     logged completion steps replay as history, the rest executes), and
@@ -431,11 +501,21 @@ def recover(
     # re-committed; all others are presumed aborted and rolled back.
     redone = 0
     undone = 0
+    held: List[Tuple[str, str]] = []
     for subsystem, transaction in registry.prepared_transactions():
+        if txn_filter is not None and not txn_filter(
+            subsystem.name, transaction.txn_id
+        ):
+            continue  # a peer shard owns this transaction
         group = analysis.txn_groups.get(transaction.txn_id)
         if group is not None and group in analysis.decided_groups:
             subsystem.commit_prepared(transaction.txn_id)
             redone += 1
+        elif transaction.txn_id in analysis.voted_txns:
+            # Voted YES for a remote coordinator: its decision may still
+            # be commit, so unilateral presumed abort would be wrong.
+            # Leave it prepared; the termination protocol resolves it.
+            held.append((subsystem.name, transaction.txn_id))
         else:
             subsystem.rollback_prepared(transaction.txn_id)
             undone += 1
@@ -450,6 +530,7 @@ def recover(
         conflicts=conflicts,
         rules=rules,
         wal=wal,
+        coordinator=coordinator,  # type: ignore[arg-type]
     )
     pre_crash: Dict[str, List[Tuple[str, int]]] = {}
     for process_id, activity, direction in analysis.events:
@@ -498,6 +579,7 @@ def recover(
             history=scheduler.history(),
             rolled_back_in_doubt=undone,
             re_committed_in_doubt=redone,
+            held_in_doubt=tuple(held),
             resumed=False,
             noop=True,
         )
@@ -532,6 +614,7 @@ def recover(
         history=history,
         rolled_back_in_doubt=undone,
         re_committed_in_doubt=redone,
+        held_in_doubt=tuple(held),
         resumed=resumed,
     )
 

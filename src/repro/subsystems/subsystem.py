@@ -96,6 +96,10 @@ class Subsystem:
         #: Optional structured trace bus (wired by the scheduler's
         #: ``attach_trace``); fault injections are emitted on it.
         self.trace = None
+        #: Optional observer ``(txn_id, committed) -> None`` invoked on
+        #: every prepared-transaction resolution — the federation's
+        #: decision ledger audits lost/duplicated 2PC outcomes with it.
+        self.on_resolve = None
 
     # -- registration ---------------------------------------------------------
 
@@ -299,6 +303,8 @@ class Subsystem:
         transaction.require_prepared()
         transaction.commit()
         del self._transactions[txn_id]
+        if self.on_resolve is not None:
+            self.on_resolve(txn_id, True)
 
     def rollback_prepared(self, txn_id: str) -> None:
         """Roll back a prepared transaction (2PC abort / victim abort)."""
@@ -306,6 +312,8 @@ class Subsystem:
         transaction.require_prepared()
         transaction.rollback()
         del self._transactions[txn_id]
+        if self.on_resolve is not None:
+            self.on_resolve(txn_id, False)
 
     def prepared_transactions(self) -> List[LocalTransaction]:
         """In-doubt transactions, e.g. to be resolved by crash recovery."""

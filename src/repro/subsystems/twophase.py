@@ -19,6 +19,15 @@ The coordinator follows the classical presumed-abort protocol:
    deterministically: a logged commit decision is re-applied, a group
    without one is presumed aborted and rolled back.
 3. **Completion phase** — all participants commit (or roll back).
+
+Crash tolerance is testable at every message boundary: the coordinator
+invokes its optional ``boundary`` hook after each protocol step
+(``begin_logged``, ``vote:<participant>``, ``votes_collected``,
+``abort_logged``, ``decision_logged``, ``committed:<participant>``,
+``end_logged``).  A hook that raises :class:`CoordinatorCrash` models
+the coordinator dying at exactly that point; recovery then resolves the
+interrupted group from the log (see :mod:`repro.subsystems.recovery`
+and the federation's cooperative termination protocol).
 """
 
 from __future__ import annotations
@@ -31,7 +40,24 @@ from repro.subsystems.subsystem import Subsystem
 from repro.subsystems.transaction import LocalTransaction, TransactionState
 from repro.subsystems.wal import WriteAheadLog
 
-__all__ = ["Participant", "CommitOutcome", "TwoPhaseCoordinator"]
+__all__ = [
+    "Participant",
+    "CommitOutcome",
+    "CoordinatorCrash",
+    "TwoPhaseCoordinator",
+]
+
+
+class CoordinatorCrash(RuntimeError):
+    """The coordinator crash-stopped at a protocol message boundary.
+
+    Raised by ``boundary`` hooks (crash-point injection); carries the
+    boundary name so harnesses can sweep every interruption point.
+    """
+
+    def __init__(self, boundary: str) -> None:
+        super().__init__(f"coordinator crashed at boundary {boundary!r}")
+        self.boundary = boundary
 
 
 @dataclass(frozen=True)
@@ -61,19 +87,42 @@ class CommitOutcome:
 #: vote commit.
 VoteFunction = Callable[[Participant], bool]
 
+#: Hook invoked after every protocol message boundary (crash-point
+#: injection).  Receives the boundary name; raising
+#: :class:`CoordinatorCrash` models the coordinator dying there.
+BoundaryHook = Callable[[str], None]
+
 
 class TwoPhaseCoordinator:
     """Coordinates atomic commitment of prepared transaction groups."""
-
-    _group_ids = itertools.count(1)
 
     def __init__(
         self,
         wal: Optional[WriteAheadLog] = None,
         vote: Optional[VoteFunction] = None,
+        shard_id: Optional[str] = None,
+        boundary: Optional[BoundaryHook] = None,
     ) -> None:
         self._wal = wal
         self._vote = vote or (lambda participant: True)
+        #: Group-id sequence is *per coordinator* (a class-level counter
+        #: would leak ids across instances and break reproducibility
+        #: when multiple coordinators — scheduler shards — coexist in
+        #: one process) and is namespaced by the shard id when given.
+        self._group_ids = itertools.count(1)
+        self.shard_id = shard_id
+        self._boundary = boundary
+
+    def _fresh_group_id(self) -> str:
+        number = next(self._group_ids)
+        if self.shard_id is not None:
+            return f"{self.shard_id}:2pc-{number}"
+        return f"2pc-{number}"
+
+    def _cross(self, name: str) -> None:
+        """Cross a protocol message boundary (crash-point hook)."""
+        if self._boundary is not None:
+            self._boundary(name)
 
     def commit_group(
         self,
@@ -88,7 +137,7 @@ class TwoPhaseCoordinator:
         treats the owning process's non-compensatable activities as
         failed.
         """
-        identifier = group_id or f"2pc-{next(self._group_ids)}"
+        identifier = group_id or self._fresh_group_id()
         names = tuple(str(participant) for participant in participants)
         self._log(
             {
@@ -97,6 +146,7 @@ class TwoPhaseCoordinator:
                 "participants": list(names),
             }
         )
+        self._cross("begin_logged")
 
         # Phase 1: collect votes; everyone must be prepared and willing.
         veto: Optional[str] = None
@@ -108,9 +158,12 @@ class TwoPhaseCoordinator:
             if not self._vote(participant):
                 veto = str(participant)
                 break
+            self._cross(f"vote:{participant}")
+        self._cross("votes_collected")
 
         if veto is not None:
             self._log({"type": "2pc_abort", "group": identifier, "veto": veto})
+            self._cross("abort_logged")
             self._rollback_all(participants)
             return CommitOutcome(
                 group_id=identifier,
@@ -121,11 +174,14 @@ class TwoPhaseCoordinator:
 
         # Decision logged before phase 2 — the recovery anchor.
         self._log({"type": "2pc_commit", "group": identifier})
+        self._cross("decision_logged")
 
         # Phase 2: commit everyone.
         for participant in participants:
             participant.subsystem.commit_prepared(participant.txn_id)
+            self._cross(f"committed:{participant}")
         self._log({"type": "2pc_end", "group": identifier})
+        self._cross("end_logged")
         return CommitOutcome(
             group_id=identifier, committed=True, participants=names
         )
