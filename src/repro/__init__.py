@@ -128,6 +128,8 @@ from repro.errors import (
     NotWellFormedError,
     ReproError,
     SchedulerError,
+    StorageFault,
+    StoreCorruptionError,
     SubsystemError,
     TransactionAborted,
 )
@@ -163,6 +165,15 @@ from repro.subsystems.recovery import (
     replay_history,
     scan_wal,
 )
+from repro.subsystems.backend import (
+    BACKEND_KINDS,
+    BackendHub,
+    MemoryBackend,
+    ProcPoolBackend,
+    SqliteBackend,
+    StoreBackend,
+)
+from repro.subsystems.failures import DiskFaultPolicy
 from repro.subsystems.repository import ProcessRepository
 from repro.subsystems.subsystem import Subsystem, SubsystemRegistry
 from repro.subsystems.wal import FileWAL, InMemoryWAL, WriteAheadLog
@@ -228,6 +239,15 @@ __all__ = [
     # subsystems
     "Subsystem",
     "SubsystemRegistry",
+    "StoreBackend",
+    "BackendHub",
+    "BACKEND_KINDS",
+    "MemoryBackend",
+    "SqliteBackend",
+    "ProcPoolBackend",
+    "DiskFaultPolicy",
+    "StorageFault",
+    "StoreCorruptionError",
     "FailurePolicy",
     "NoFailures",
     "FailurePlan",

@@ -156,9 +156,7 @@ class BaselineScheduler:
             if subsystem.provides(service):
                 return subsystem
         if create:
-            subsystem = Subsystem(name)
-            self.registry.add(subsystem)
-            return subsystem
+            return self.registry.provision(name)
         raise SchedulerError(
             f"no subsystem for activity {definition.name!r}"
         )

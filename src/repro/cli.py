@@ -110,6 +110,8 @@ from repro.obs import (
 )
 from repro.sim.runner import simulate_run
 from repro.sim.workload import WorkloadSpec, generate_workload
+from repro.subsystems.backend import BackendHub
+from repro.subsystems.subsystem import SubsystemRegistry
 
 SCHEDULERS = {
     "pred": TransactionalProcessScheduler,
@@ -269,9 +271,15 @@ def _cmd_workload(args: argparse.Namespace) -> int:
     )
     workload = generate_workload(spec)
     obs = _ObsSession(args)
+    backend = getattr(args, "backend", "memory")
+    hub = BackendHub(backend) if backend != "memory" else None
+    registry = SubsystemRegistry(
+        backend_factory=hub.backend_for if hub is not None else None
+    )
     scheduler_cls = SCHEDULERS[args.scheduler]
     if args.scheduler == "pred":
         scheduler = scheduler_cls(
+            registry=registry,
             conflicts=workload.conflicts,
             trace=obs.bus,
             metrics=obs.registry,
@@ -283,16 +291,23 @@ def _cmd_workload(args: argparse.Namespace) -> int:
                 "pred scheduler; baseline disciplines emit no events",
                 file=sys.stderr,
             )
-        scheduler = scheduler_cls(conflicts=workload.conflicts)
+        scheduler = scheduler_cls(
+            registry=registry, conflicts=workload.conflicts
+        )
     for process in workload.processes:
         scheduler.submit(process, failures=workload.failures)
     obs.emit(
         "run_begin", harness="workload", seed=args.seed,
-        scheduler=args.scheduler,
+        scheduler=args.scheduler, backend=backend,
     )
-    metrics = simulate_run(
-        scheduler, durations=workload.duration, order=args.order
-    )
+    try:
+        metrics = simulate_run(
+            scheduler, durations=workload.duration, order=args.order
+        )
+        scheduler.registry.close()
+    finally:
+        if hub is not None:
+            hub.close()
     obs.emit(
         "run_end",
         harness="workload",
@@ -406,6 +421,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             max_attempts=args.max_attempts,
             breaker_threshold=args.breaker_threshold,
             breaker_reset=args.breaker_reset,
+            backend=args.backend,
             **overrides,
         )
         for spec in mixes
@@ -457,6 +473,7 @@ def _cmd_crashpoints(args: argparse.Namespace) -> int:
         checkpoint_interval=args.checkpoint_interval,
         stride=args.stride,
         recovery_stride=args.recovery_stride,
+        backend=args.backend,
     )
     obs = _ObsSession(args)
     try:
@@ -480,9 +497,16 @@ def _cmd_crashpoints(args: argparse.Namespace) -> int:
     )
     total = sum(len(sweep.results) for sweep in sweeps)
     faults = sum(len(sweep.file_faults) for sweep in sweeps)
+    disk = sum(len(getattr(sweep, "disk_faults", ())) for sweep in sweeps)
+    kills = sum(len(getattr(sweep, "real_kills", ())) for sweep in sweeps)
     certified = all(sweep.all_certified for sweep in sweeps)
+    extras = ""
+    if disk:
+        extras += f" + {disk} disk faults"
+    if kills:
+        extras += f" + {kills} real kills"
     print(
-        f"\n{total} crash points + {faults} file faults swept; "
+        f"\n{total} crash points + {faults} file faults{extras} swept; "
         f"{'all certified' if certified else 'CERTIFICATION FAILURES'} "
         f"(PRED + reducible + terminated + idempotent recovery)"
     )
@@ -713,6 +737,13 @@ def build_parser() -> argparse.ArgumentParser:
     workload.add_argument(
         "--order", choices=["strong", "weak"], default="strong"
     )
+    workload.add_argument(
+        "--backend",
+        choices=["memory", "sqlite", "procpool"],
+        default="memory",
+        help="store backend behind every subsystem (sqlite: real "
+        "fsync-on-commit files; procpool: an external worker process)",
+    )
     workload.add_argument("--show-history", action="store_true")
     workload.add_argument(
         "--perf-counters",
@@ -808,6 +839,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="open-window length before the half-open probe",
     )
     chaos.add_argument(
+        "--backend",
+        choices=["memory", "sqlite", "procpool"],
+        default="memory",
+        help="store backend behind every subsystem; certification must "
+        "be identical over every choice",
+    )
+    chaos.add_argument(
         "--no-certify",
         action="store_true",
         help="report instead of raising when a run fails certification",
@@ -853,6 +891,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-file-faults",
         action="store_true",
         help="skip the torn-tail / bit-flip FileWAL torture",
+    )
+    crashpoints.add_argument(
+        "--backend",
+        choices=["memory", "sqlite", "procpool"],
+        default="memory",
+        help="store backend behind every subsystem; sqlite adds the "
+        "disk-fault torture, procpool one real-SIGKILL recovery run",
     )
     _add_obs_arguments(crashpoints)
     crashpoints.set_defaults(handler=_cmd_crashpoints)

@@ -528,14 +528,13 @@ class TransactionalProcessScheduler:
             if subsystem.provides(service):
                 return subsystem
         if create:
-            subsystem = Subsystem(name)
+            subsystem = self.registry.provision(name)
             if self.resilience is not None:
                 # Crash-stopped subsystems recover by the clock; share
                 # the resilience layer's virtual clock so outages end.
                 subsystem.clock = self.resilience.clock
             if self._trace is not None:
                 subsystem.trace = self._trace
-            self.registry.add(subsystem)
             return subsystem
         raise SchedulerError(
             f"no subsystem for activity {definition.name!r} "

@@ -134,6 +134,31 @@ class SubsystemUnavailable(TransactionAborted):
         self.retry_after = retry_after
 
 
+class StorageFault(TransactionAborted):
+    """A storage backend operation failed (real or injected disk fault).
+
+    Raised when a store commit cannot be made durable — an fsync
+    failure, a dead worker process, a broken sqlite connection.  It is
+    a :class:`TransactionAborted`: the backend rolls the write batch
+    back before raising, so atomicity holds and the scheduler's normal
+    failure handling (retry, alternative path) applies.
+    """
+
+
+class StoreCorruptionError(SubsystemError):
+    """A store file failed verification on (re)open.
+
+    The storage analogue of :class:`LogCorruptionError`: a torn write
+    or a short read detected when a durable backend reopens its file.
+    Typed so harnesses can assert that damage is *detected*, never
+    silently served.  ``path`` names the damaged store file.
+    """
+
+    def __init__(self, message: str, path: str = "") -> None:
+        super().__init__(message)
+        self.path = path
+
+
 # ---------------------------------------------------------------------------
 # Scheduler errors
 # ---------------------------------------------------------------------------

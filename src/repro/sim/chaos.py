@@ -30,7 +30,9 @@ from repro.resilience import BreakerConfig, ResilienceManager, RetryPolicy
 from repro.sim.metrics import RunMetrics
 from repro.sim.runner import SimulationRunner
 from repro.sim.workload import WorkloadSpec, generate_workload
+from repro.subsystems.backend import BACKEND_KINDS, BackendHub
 from repro.subsystems.failures import ChaosPolicy
+from repro.subsystems.subsystem import SubsystemRegistry
 
 __all__ = [
     "ChaosSpec",
@@ -108,6 +110,17 @@ class ChaosSpec:
     breaker_reset: float = 5.0
     #: Master seed: drives workload generation and fault injection.
     seed: int = 0
+    #: Store backend behind every subsystem (``memory``/``sqlite``/
+    #: ``procpool``); the scheduler's decisions do not depend on it —
+    #: the same spec must certify identically over every backend.
+    backend: str = "memory"
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKEND_KINDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; expected one of "
+                f"{', '.join(BACKEND_KINDS)}"
+            )
 
     def with_seed(self, seed: int) -> "ChaosSpec":
         return replace(self, seed=seed)
@@ -139,6 +152,7 @@ class ChaosResult:
         return {
             "mix": self.spec.name,
             "seed": self.spec.seed,
+            "backend": self.spec.backend,
             "faults": sum(self.injected.values()),
             "aborts": self.injected.get("abort", 0),
             "latency": self.injected.get("latency", 0),
@@ -197,8 +211,14 @@ def default_mixes(
     ]
 
 
-def _build(spec: ChaosSpec, trace=None, metrics=None):
-    """Scheduler + runner + chaos policy for one spec, wired together."""
+def _build(spec: ChaosSpec, trace=None, metrics=None, hub=None):
+    """Scheduler + runner + chaos policy for one spec, wired together.
+
+    ``hub`` is the run's :class:`~repro.subsystems.backend.BackendHub`
+    (``None`` keeps the in-memory default); its factory backs every
+    auto-provisioned subsystem, so the whole harness runs unchanged
+    over real storage.
+    """
     workload = generate_workload(replace(spec.workload, seed=spec.seed))
     targets = None
     if spec.target_services is not None:
@@ -227,7 +247,11 @@ def _build(spec: ChaosSpec, trace=None, metrics=None):
             reset_timeout=spec.breaker_reset,
         ),
     )
+    registry = SubsystemRegistry(
+        backend_factory=hub.backend_for if hub is not None else None
+    )
     scheduler = TransactionalProcessScheduler(
+        registry=registry,
         conflicts=workload.conflicts,
         resilience=manager,
         trace=trace,
@@ -249,14 +273,28 @@ def run_chaos(
     :class:`~repro.errors.CorrectnessViolation` — the harness's hard
     assertion that Theorem 1's guarantees survive the resilience layer.
     """
-    scheduler, runner, chaos = _build(spec, trace=trace, metrics=metrics)
-    if trace is not None and trace.enabled:
-        trace.emit(
-            "run_begin", harness="chaos", mix=spec.name, seed=spec.seed
+    hub = BackendHub(spec.backend) if spec.backend != "memory" else None
+    try:
+        scheduler, runner, chaos = _build(
+            spec, trace=trace, metrics=metrics, hub=hub
         )
-    run_metrics = runner.run()
-    verdict = certify_history(scheduler.history(), scheduler.all_terminated())
-    counters = scheduler.resilience.snapshot()
+        if trace is not None and trace.enabled:
+            trace.emit(
+                "run_begin",
+                harness="chaos",
+                mix=spec.name,
+                seed=spec.seed,
+                backend=spec.backend,
+            )
+        run_metrics = runner.run()
+        verdict = certify_history(
+            scheduler.history(), scheduler.all_terminated()
+        )
+        counters = scheduler.resilience.snapshot()
+        scheduler.registry.close()
+    finally:
+        if hub is not None:
+            hub.close()
     run_metrics.prefix_reducible = verdict.pred
     run_metrics.faults_injected = chaos.total_injected
     if trace is not None and trace.enabled:

@@ -41,6 +41,7 @@ __all__ = [
     "CountedFailures",
     "ProbabilisticFailures",
     "ChaosPolicy",
+    "DiskFaultPolicy",
 ]
 
 
@@ -196,6 +197,98 @@ class ProbabilisticFailures(FailurePolicy):
             return True
         self._consecutive[service] = 0
         return False
+
+
+class DiskFaultPolicy:
+    """Injectable disk faults for durable store backends.
+
+    Consumed by :class:`~repro.subsystems.backend.SqliteBackend` (and
+    the worker behind the procpool backend).  Three fault shapes, all
+    armed explicitly so torture harnesses stay deterministic:
+
+    * **fsync failure** — the next ``fail_fsync`` commit attempts raise
+      :class:`~repro.errors.StorageFault` *after* rolling the write
+      batch back (the disk refused to make the commit durable; no
+      effects remain).  Bounded by construction, so guaranteed
+      termination survives the injection.
+    * **torn write** — :meth:`tear_at` arms a byte offset; the backend's
+      ``tear()`` damages the closed store file at that offset, as a
+      power cut mid-sector-write would.  The next reopen must detect it
+      and raise :class:`~repro.errors.StoreCorruptionError`.
+    * **short read** — the next reopen's header verification sees fewer
+      bytes than it asked for (a truncated or still-syncing file) and
+      must raise :class:`~repro.errors.StoreCorruptionError` instead of
+      serving a partial view.
+
+    ``suspended`` gates injection off during protected operations:
+    phase-2 commits of already-decided 2PC groups model the
+    retry-until-the-disk-heals loop of real log managers, so injected
+    fsync failures never target them.
+    """
+
+    def __init__(
+        self,
+        fail_fsync: int = 0,
+        torn_write_offset: Optional[int] = None,
+        short_read: bool = False,
+    ) -> None:
+        if fail_fsync < 0:
+            raise ValueError("fail_fsync must be >= 0")
+        self.fail_fsync = fail_fsync
+        self.torn_write_offset = torn_write_offset
+        self.short_read = short_read
+        self.suspended = False
+        #: Faults actually delivered, by shape (harness statistics).
+        self.delivered: Dict[str, int] = {
+            "fsync": 0,
+            "torn_write": 0,
+            "short_read": 0,
+        }
+
+    # -- arming -----------------------------------------------------------
+
+    def fail_next_fsyncs(self, count: int) -> "DiskFaultPolicy":
+        self.fail_fsync = count
+        return self
+
+    def tear_at(self, offset: int) -> "DiskFaultPolicy":
+        self.torn_write_offset = offset
+        return self
+
+    def arm_short_read(self) -> "DiskFaultPolicy":
+        self.short_read = True
+        return self
+
+    # -- consumption (called by backends) ---------------------------------
+
+    def take_fsync_failure(self) -> bool:
+        """Consume one armed fsync failure, if any."""
+        if self.suspended or self.fail_fsync <= 0:
+            return False
+        self.fail_fsync -= 1
+        self.delivered["fsync"] += 1
+        return True
+
+    def take_torn_write(self) -> Optional[int]:
+        """Consume the armed torn-write offset, if any."""
+        if self.torn_write_offset is None:
+            return None
+        offset = self.torn_write_offset
+        self.torn_write_offset = None
+        self.delivered["torn_write"] += 1
+        return offset
+
+    def take_short_read(self) -> bool:
+        """Consume one armed short read, if any."""
+        if not self.short_read:
+            return False
+        self.short_read = False
+        self.delivered["short_read"] += 1
+        return True
+
+    @property
+    def total_delivered(self) -> int:
+        return sum(self.delivered.values())
 
 
 class ChaosPolicy(FailurePolicy):

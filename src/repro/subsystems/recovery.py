@@ -499,6 +499,16 @@ def recover(
     # Phase 2: resolve in-doubt prepared transactions at the subsystems.
     # Transactions whose 2PC group has a logged commit decision are
     # re-committed; all others are presumed aborted and rolled back.
+    # A really-killed store backend (procpool SIGKILL) is respawned
+    # first: the in-doubt writes live in the prepared transactions and
+    # must land on the *surviving* on-disk state, not fail against a
+    # dead worker.
+    for subsystem in registry.subsystems():
+        # Federation registries hold foreign-shard proxies without a
+        # local store of their own — only real subsystems are respawned.
+        backend = getattr(subsystem, "backend", None)
+        if backend is not None:
+            backend.ensure_alive()
     redone = 0
     undone = 0
     held: List[Tuple[str, str]] = []

@@ -19,10 +19,10 @@ work until the pivot group commits" is realised physically.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterator, List, Mapping, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Mapping, Optional, Tuple
 
 from repro.errors import SubsystemError
+from repro.subsystems.backend import MemoryBackend, StoreBackend
 
 __all__ = ["LockMode", "WouldBlock", "VersionedStore", "LockManager"]
 
@@ -53,60 +53,69 @@ class WouldBlock(SubsystemError):
         )
 
 
-@dataclass
-class _Entry:
-    value: object
-    version: int = 0
-
-
 class VersionedStore:
-    """In-memory key-value store with per-key version counters.
+    """Key-value store with per-key version counters.
 
     Versions let tests and the simulation assert effect-freeness: a
     compensated activity must leave every key it touched with the same
     value it had before (versions still advance, recording that writes
     happened — effect-freeness is about *values*, Definition 1 is about
     return values of other activities).
+
+    The storage itself lives behind a
+    :class:`~repro.subsystems.backend.StoreBackend`: the in-memory
+    default keeps the seed's exact semantics; a ``sqlite``/``procpool``
+    backend makes the same contract durable (and killable for real).
+    ``initial`` entries are seeded at version 0 — on a durable backend
+    that already holds state, the disk's truth wins over the seed.
     """
 
-    def __init__(self, initial: Optional[Mapping[str, object]] = None) -> None:
-        self._entries: Dict[str, _Entry] = {}
-        for key, value in (initial or {}).items():
-            self._entries[key] = _Entry(value=value)
+    def __init__(
+        self,
+        initial: Optional[Mapping[str, object]] = None,
+        backend: Optional[StoreBackend] = None,
+    ) -> None:
+        self.backend: StoreBackend = (
+            backend if backend is not None else MemoryBackend()
+        )
+        if initial:
+            self.backend.seed(initial)
 
     def get(self, key: str, default: object = None) -> object:
-        entry = self._entries.get(key)
-        return default if entry is None else entry.value
+        return self.backend.get(key, default)
 
     def exists(self, key: str) -> bool:
-        return key in self._entries
+        return self.backend.exists(key)
 
     def version(self, key: str) -> int:
-        entry = self._entries.get(key)
-        return 0 if entry is None else entry.version
+        return self.backend.version(key)
 
     def apply(self, writes: Mapping[str, object]) -> None:
         """Install a committed write set, bumping versions."""
-        for key, value in writes.items():
-            entry = self._entries.get(key)
-            if entry is None:
-                self._entries[key] = _Entry(value=value, version=1)
-            else:
-                entry.value = value
-                entry.version += 1
+        self.backend.apply(writes)
 
     def delete(self, key: str) -> None:
-        self._entries.pop(key, None)
+        self.backend.delete(key)
 
     def snapshot(self) -> Dict[str, object]:
         """A value snapshot (used by effect-freeness assertions)."""
-        return {key: entry.value for key, entry in self._entries.items()}
+        return self.backend.snapshot()
 
     def keys(self) -> Iterator[str]:
-        return iter(self._entries)
+        return self.backend.keys()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self.backend)
+
+    def close(self) -> None:
+        """Release the backend's resources (idempotent)."""
+        self.backend.close()
+
+    def __enter__(self) -> "VersionedStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
 
 class LockManager:

@@ -70,6 +70,15 @@ class ServiceContext:
     def param(self, name: str, default: object = None) -> object:
         return self.params.get(name, default)
 
+    @property
+    def txn_id(self) -> str:
+        """Identifier of the enclosing local transaction.
+
+        Unique per invocation — handlers that need collision-free keys
+        (ledger-style appends) derive them from it.
+        """
+        return self._transaction.txn_id
+
 
 Handler = Callable[[ServiceContext], object]
 

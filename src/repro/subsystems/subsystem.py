@@ -24,16 +24,28 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+)
 
 from repro.core.conflict import ConflictRelation
 from repro.errors import (
     ServiceNotFoundError,
     ServiceTimeout,
+    StorageFault,
     SubsystemError,
     SubsystemUnavailable,
     TransactionAborted,
 )
+from repro.subsystems.backend import StoreBackend
 from repro.subsystems.failures import Fault, FaultKind, FailurePolicy, NoFailures
 from repro.subsystems.resource import LockManager, VersionedStore, WouldBlock
 from repro.subsystems.services import (
@@ -82,9 +94,10 @@ class Subsystem:
         self,
         name: str,
         initial_state: Optional[Mapping[str, object]] = None,
+        backend: Optional[StoreBackend] = None,
     ) -> None:
         self.name = name
-        self.store = VersionedStore(initial_state)
+        self.store = VersionedStore(initial_state, backend=backend)
         self.locks = LockManager()
         self._services: Dict[str, Service] = {}
         self._transactions: Dict[str, LocalTransaction] = {}
@@ -100,6 +113,21 @@ class Subsystem:
         #: every prepared-transaction resolution — the federation's
         #: decision ledger audits lost/duplicated 2PC outcomes with it.
         self.on_resolve = None
+
+    @property
+    def backend(self) -> StoreBackend:
+        """The storage backend behind this subsystem's store."""
+        return self.store.backend
+
+    def close(self) -> None:
+        """Release the store backend's resources (idempotent)."""
+        self.store.close()
+
+    def __enter__(self) -> "Subsystem":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # -- registration ---------------------------------------------------------
 
@@ -189,7 +217,16 @@ class Subsystem:
         if hold:
             transaction.prepare()
         else:
-            transaction.commit()
+            try:
+                transaction.commit()
+            except StorageFault:
+                # The backend failed to make the batch durable (injected
+                # fsync fault, dead worker) and rolled it back; abort the
+                # transaction so no locks leak — atomicity holds, the
+                # invocation surfaces as an ordinary failed attempt.
+                transaction.rollback()
+                del self._transactions[identifier]
+                raise
             del self._transactions[identifier]
         return Invocation(
             subsystem=self.name,
@@ -262,6 +299,9 @@ class Subsystem:
         now = self.clock.now if self.clock is not None else None
         if now is not None and now >= self._down_until:
             self._down_until = None  # outage over: crash-recover
+            # A killable backend really lost its process; respawn it so
+            # the recovered subsystem serves from the surviving state.
+            self.backend.ensure_alive()
             return
         remaining = (
             self._down_until - now if now is not None else float("inf")
@@ -283,10 +323,15 @@ class Subsystem:
             self._down_until = max(self._down_until or 0.0, until)
         else:
             self._down_until = float("inf")
+        # On a killable backend the crash-stop is physical: the storage
+        # worker process is really SIGKILLed.  Committed state survives
+        # on disk; the outage-end/restore path respawns the worker.
+        self.backend.kill()
 
     def restore(self) -> None:
         """Bring a crash-stopped subsystem back (manual recovery)."""
         self._down_until = None
+        self.backend.ensure_alive()
 
     @property
     def is_down(self) -> bool:
@@ -298,10 +343,28 @@ class Subsystem:
     # -- prepared transaction management -------------------------------------------
 
     def commit_prepared(self, txn_id: str) -> None:
-        """Commit a prepared transaction (2PC phase two)."""
+        """Commit a prepared transaction (2PC phase two).
+
+        Phase two happens *after* the coordinator durably logged the
+        commit decision, so this commit must eventually succeed —
+        injected fsync faults are therefore suspended here (the real
+        system retries phase two until the disk heals; presumed-commit
+        anchoring, Lemma 1).  A genuinely dead storage worker still
+        raises :class:`~repro.errors.StorageFault` with the transaction
+        left prepared: the caller respawns and retries.
+        """
         transaction = self._require_transaction(txn_id)
         transaction.require_prepared()
-        transaction.commit()
+        faults = self.backend.faults
+        if faults is not None:
+            suspended = faults.suspended
+            faults.suspended = True
+            try:
+                transaction.commit()
+            finally:
+                faults.suspended = suspended
+        else:
+            transaction.commit()
         del self._transactions[txn_id]
         if self.on_resolve is not None:
             self.on_resolve(txn_id, True)
@@ -347,10 +410,44 @@ class SubsystemRegistry:
     conflicts.
     """
 
-    def __init__(self, subsystems: Iterable[Subsystem] = ()) -> None:
+    def __init__(
+        self,
+        subsystems: Iterable[Subsystem] = (),
+        backend_factory: Optional[Callable[[str], StoreBackend]] = None,
+    ) -> None:
         self._subsystems: Dict[str, Subsystem] = {}
+        #: ``name -> StoreBackend`` factory consulted whenever a
+        #: subsystem is auto-provisioned (scheduler/baselines create
+        #: subsystems on demand for services no one registered).  A
+        #: :class:`~repro.subsystems.backend.BackendHub`'s
+        #: ``backend_for`` is the canonical factory; ``None`` keeps the
+        #: seed's in-memory default.
+        self.backend_factory = backend_factory
         for subsystem in subsystems:
             self.add(subsystem)
+
+    def provision(self, name: str) -> Subsystem:
+        """Create, register and return a subsystem named ``name``,
+        backed through :attr:`backend_factory` when one is set."""
+        backend = (
+            self.backend_factory(name)
+            if self.backend_factory is not None
+            else None
+        )
+        subsystem = Subsystem(name, backend=backend)
+        self.add(subsystem)
+        return subsystem
+
+    def close(self) -> None:
+        """Close every subsystem's store backend (idempotent)."""
+        for subsystem in self._subsystems.values():
+            subsystem.close()
+
+    def __enter__(self) -> "SubsystemRegistry":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def add(self, subsystem: Subsystem) -> "SubsystemRegistry":
         if subsystem.name in self._subsystems:

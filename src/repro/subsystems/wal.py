@@ -209,6 +209,9 @@ class FileWAL(WriteAheadLog):
         #: Details of the torn-tail truncation performed on load, if
         #: any: ``{"offset": int, "dropped_bytes": int, "reason": str}``.
         self.salvaged: Optional[Dict[str, object]] = None
+        #: Real ``os.fsync`` calls this log performed (benchmark X14's
+        #: honest durability-cost metric).
+        self.fsyncs = 0
         self._records: List[Dict[str, object]] = []
         self._next_lsn = 0
         self._handle = None
@@ -348,6 +351,7 @@ class FileWAL(WriteAheadLog):
         handle = self._open()
         handle.flush()
         os.fsync(handle.fileno())
+        self.fsyncs += 1
         self._emit("wal_sync", lsn=self._next_lsn - 1)
 
     # -- appending ----------------------------------------------------------
@@ -366,6 +370,7 @@ class FileWAL(WriteAheadLog):
         if fsynced:
             handle.flush()
             os.fsync(handle.fileno())
+            self.fsyncs += 1
         self._records.append(stamped)
         self._emit(
             "wal_append",
@@ -398,7 +403,13 @@ class FileWAL(WriteAheadLog):
         self._emit("wal_truncate", dropped=dropped)
 
     def _rewrite(self) -> None:
-        """Atomically replace the file with the retained records."""
+        """Atomically replace the file with the retained records.
+
+        Restores the handle to its prior open/closed state — a closed
+        WAL stays closed after a compaction, so lifecycle tests can
+        assert no handle survives ``close()``.
+        """
+        was_open = self._handle is not None
         self.close()
         tmp_path = f"{self.path}.compact"
         with open(tmp_path, "w", encoding="utf-8") as tmp:
@@ -407,8 +418,10 @@ class FileWAL(WriteAheadLog):
                 tmp.write("\n")
             tmp.flush()
             os.fsync(tmp.fileno())
+        self.fsyncs += 1
         os.replace(tmp_path, self.path)
-        self._open()
+        if was_open:
+            self._open()
 
 
 def _is_hex8(text: str) -> bool:

@@ -2,11 +2,14 @@
 
 import json
 import os
+import shutil
 
 import pytest
 
 from repro.errors import LogCorruptionError
 from repro.subsystems.wal import CHECKPOINT, FileWAL, InMemoryWAL, _encode
+
+pytestmark = pytest.mark.filterwarnings("error::ResourceWarning")
 
 
 class TestInMemoryWAL:
@@ -78,9 +81,10 @@ class TestFileWAL:
 
     def test_append_after_reopen_continues_lsn(self, tmp_path):
         path = str(tmp_path / "wal.jsonl")
-        FileWAL(path).append({"type": "a"})
-        reopened = FileWAL(path)
-        assert reopened.append({"type": "b"}) == 1
+        with FileWAL(path) as wal:
+            wal.append({"type": "a"})
+        with FileWAL(path) as reopened:
+            assert reopened.append({"type": "b"}) == 1
 
     def test_missing_file_starts_empty(self, tmp_path):
         wal = FileWAL(str(tmp_path / "absent.jsonl"))
@@ -89,9 +93,9 @@ class TestFileWAL:
     def test_legacy_v1_lines_still_read(self, tmp_path):
         path = tmp_path / "legacy.jsonl"
         path.write_text('{"type": "a", "lsn": 0}\n{"type": "b", "lsn": 1}\n')
-        wal = FileWAL(str(path))
-        assert [record["type"] for record in wal.records()] == ["a", "b"]
-        assert wal.append({"type": "c"}) == 2
+        with FileWAL(str(path)) as wal:
+            assert [record["type"] for record in wal.records()] == ["a", "b"]
+            assert wal.append({"type": "c"}) == 2
 
     def test_blank_lines_ignored(self, tmp_path):
         path = tmp_path / "gaps.jsonl"
@@ -139,8 +143,8 @@ class TestFileWAL:
         wal.close()
         raw = path.read_bytes()
         path.write_bytes(raw[: len(raw) - 7])
-        reopened = FileWAL(str(path))
-        assert reopened.append({"type": "c"}) == 1
+        with FileWAL(str(path)) as reopened:
+            assert reopened.append({"type": "c"}) == 1
 
     def test_salvage_disabled_raises_on_torn_tail(self, tmp_path):
         path = tmp_path / "torn.jsonl"
@@ -264,9 +268,9 @@ class TestFileWAL:
         wal.append({"type": "b"})
         wal.truncate()
         wal.close()
-        reopened = FileWAL(path)
-        assert len(reopened) == 0
-        assert reopened.append({"type": "c"}) == 0
+        with FileWAL(path) as reopened:
+            assert len(reopened) == 0
+            assert reopened.append({"type": "c"}) == 0
 
     def test_checkpoint_compacts_file(self, tmp_path):
         path = tmp_path / "wal.jsonl"
@@ -279,12 +283,12 @@ class TestFileWAL:
             line for line in path.read_text().splitlines() if line.strip()
         ]
         assert len(lines) == 1
-        reopened = FileWAL(str(path))
-        records = reopened.records()
-        assert len(records) == 1
-        assert records[0]["type"] == CHECKPOINT
-        assert records[0]["lsn"] == 10
-        assert reopened.append({"type": "b"}) == 11
+        with FileWAL(str(path)) as reopened:
+            records = reopened.records()
+            assert len(records) == 1
+            assert records[0]["type"] == CHECKPOINT
+            assert records[0]["lsn"] == 10
+            assert reopened.append({"type": "b"}) == 11
 
     def test_checkpoint_file_survives_reopen_lsn(self, tmp_path):
         path = str(tmp_path / "wal.jsonl")
@@ -294,8 +298,8 @@ class TestFileWAL:
         wal.checkpoint({})
         wal.append({"type": "b"})
         wal.close()
-        reopened = FileWAL(path)
-        assert reopened.append({"type": "c"}) == 5
+        with FileWAL(path) as reopened:
+            assert reopened.append({"type": "c"}) == 5
 
     def test_compaction_leaves_no_tmp_file(self, tmp_path):
         path = tmp_path / "wal.jsonl"
@@ -304,3 +308,115 @@ class TestFileWAL:
         wal.checkpoint({})
         wal.close()
         assert not os.path.exists(str(path) + ".compact")
+
+
+class TestFlushPolicyUnderCrash:
+    """``flush="never"`` vs ``fsync=True`` under crash-at-every-LSN.
+
+    The crash image is the on-disk WAL file copied *before* the live
+    handle is flushed or closed — exactly the bytes a machine that lost
+    power at that instant would find on reboot.  With ``fsync=True``
+    every appended record is on disk, so the image is complete.  With
+    ``flush="never"`` the tail sits in the userspace buffer and is
+    genuinely gone, possibly torn mid-record; recovery must still
+    certify from the surviving prefix (salvage truncates the tear)
+    against the sqlite stores, which were fsynced independently and may
+    be ahead of the log.
+    """
+
+    def _spec(self):
+        from repro.sim.crashpoints import CrashPointSpec
+        from repro.sim.workload import WorkloadSpec
+
+        return CrashPointSpec(
+            workload=WorkloadSpec(
+                processes=2, prefix_range=(1, 2), service_pool=4
+            ),
+            seed=5,
+            backend="sqlite",
+            abort_rate=0.0,
+        )
+
+    def _sweep(self, tmp_path, **wal_kwargs):
+        """Crash the workload at a stride of LSNs; recover from the
+        unflushed on-disk image.  Returns per-point (lost, certified,
+        idempotent) tuples."""
+        from repro.sim.crashpoints import (
+            CrashingWAL,
+            _build,
+            _certify,
+            _drive,
+            baseline_lsns,
+        )
+        from repro.subsystems.backend import BackendHub
+        from repro.subsystems.recovery import recover
+
+        spec = self._spec()
+        total = baseline_lsns(spec, services="ledger")
+        assert total > 4
+        stride = max(1, total // 5)
+        outcomes = []
+        for index, crash_lsn in enumerate(range(1, total, stride)):
+            live_path = str(tmp_path / f"live-{index}.jsonl")
+            image_path = str(tmp_path / f"image-{index}.jsonl")
+            hub = BackendHub("sqlite")
+            try:
+                live = FileWAL(live_path, **wal_kwargs)
+                scheduler, repository, workload, failures = _build(
+                    spec,
+                    CrashingWAL(live, crash_lsn=crash_lsn),
+                    hub=hub,
+                    services="ledger",
+                )
+                assert _drive(scheduler, workload, failures)
+                scheduler.crash()
+                # Take the crash image BEFORE flush/close: only bytes
+                # the OS already has.  Then release the live handle.
+                shutil.copyfile(live_path, image_path)
+                live_count = len(live)
+                live.close()
+
+                image = FileWAL(image_path)
+                lost = live_count - len(image.records())
+                assert lost >= 0
+                report = recover(
+                    image,
+                    scheduler.registry,
+                    repository,
+                    conflicts=workload.conflicts,
+                )
+                certification = _certify(
+                    image, repository, workload, report, compacted=False
+                )
+                length = len(image)
+                again = recover(
+                    image,
+                    scheduler.registry,
+                    repository,
+                    conflicts=workload.conflicts,
+                )
+                idempotent = again.noop and len(image) == length
+                image.close()
+                scheduler.registry.close()
+                outcomes.append((lost, certification.certified, idempotent))
+            finally:
+                hub.close()
+        return outcomes
+
+    def test_fsync_always_loses_nothing(self, tmp_path):
+        outcomes = self._sweep(tmp_path, fsync=True)
+        assert outcomes
+        for lost, certified, idempotent in outcomes:
+            assert lost == 0  # every append hit the platter
+            assert certified
+            assert idempotent
+
+    def test_flush_never_certifies_from_surviving_prefix(self, tmp_path):
+        outcomes = self._sweep(tmp_path, flush="never")
+        assert outcomes
+        for lost, certified, idempotent in outcomes:
+            assert certified
+            assert idempotent
+        # The policy is genuinely lossy: at least one crash image was
+        # missing buffered records — and recovery still certified.
+        assert any(lost > 0 for lost, _, _ in outcomes)
