@@ -96,7 +96,7 @@ from repro.core.serialize import (
     process_from_json,
     schedule_from_dict,
 )
-from repro.errors import ReproError
+from repro.errors import CorrectnessViolation, ReproError
 from repro.obs import (
     JsonlSink,
     MemorySink,
@@ -660,6 +660,163 @@ def _cmd_federation(args: argparse.Namespace) -> int:
     return 0 if healthy else 1
 
 
+def _nemesis_spec(args: argparse.Namespace):
+    from repro.nemesis import NemesisSpec
+
+    groups = args.groups if args.groups else max(2 * args.shards, 2)
+    return NemesisSpec(
+        shards=args.shards,
+        service_groups=groups,
+        processes_per_group=args.processes,
+        cross_shard_fraction=args.cross,
+        conflict_rate=args.conflicts,
+        backend=args.backend,
+        seed=args.seed,
+        horizon=args.horizon,
+    )
+
+
+def _nemesis_invariants(args: argparse.Namespace):
+    """Invariant factory from flags (``None`` = the default registry)."""
+    canary = getattr(args, "canary", None)
+    if not canary:
+        return None
+    from repro.nemesis import CanaryInvariant, default_invariants
+
+    families = tuple(
+        name.strip() for name in canary.split(",") if name.strip()
+    )
+    threshold = getattr(args, "canary_threshold", 1)
+
+    def factory():
+        return default_invariants() + [
+            CanaryInvariant(families=families, threshold=threshold)
+        ]
+
+    return factory
+
+
+def _print_nemesis_coverage(coverage) -> None:
+    from repro.nemesis import ALL_SITES
+
+    payload = coverage.to_dict()
+    fired = ", ".join(payload["fired"]) or "none"
+    print(
+        f"fault-site coverage: {payload['percent']:.0f}% "
+        f"({len(payload['fired'])}/{len(ALL_SITES)} sites; "
+        f"families: {', '.join(coverage.families_covered()) or 'none'})"
+    )
+    print(f"fired sites: {fired}")
+
+
+def _cmd_nemesis_search(args: argparse.Namespace) -> int:
+    from repro.nemesis import nemesis_search
+    from repro.sim.certify import EXIT_OK, EXIT_VIOLATION
+
+    obs = _ObsSession(args)
+    try:
+        result = nemesis_search(
+            _nemesis_spec(args),
+            plans=args.plans,
+            seed=args.search_seed,
+            actions=args.actions,
+            invariants=_nemesis_invariants(args),
+            max_shrink_runs=args.max_shrink_runs,
+            bundle_dir=args.bundle_dir,
+            bundle_trace=not args.no_bundle_trace,
+            trace=obs.bus,
+            metrics_registry=obs.registry,
+        )
+    except CorrectnessViolation as error:
+        print(f"violation: {error}", file=sys.stderr)
+        return EXIT_VIOLATION
+    finally:
+        for note in obs.finish():
+            print(note, file=sys.stderr)
+    print(result.summary())
+    _print_nemesis_coverage(result.coverage)
+    print(f"total plan executions: {result.total_runs}")
+    if args.min_coverage and result.coverage.percent < args.min_coverage:
+        print(
+            f"coverage {result.coverage.percent:.0f}% below required "
+            f"{args.min_coverage:.0f}%",
+            file=sys.stderr,
+        )
+        return EXIT_VIOLATION
+    if args.expect_violation:
+        if not result.found:
+            print(
+                "expected a violation but the search came up clean",
+                file=sys.stderr,
+            )
+            return EXIT_VIOLATION
+        return EXIT_OK
+    return EXIT_VIOLATION if result.found else EXIT_OK
+
+
+def _cmd_nemesis_run(args: argparse.Namespace) -> int:
+    from repro.nemesis import FaultPlan, run_plan
+    from repro.sim.certify import EXIT_OK, EXIT_USAGE, EXIT_VIOLATION
+
+    with open(args.plan, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    # Accept either a bare plan file or a full bundle.
+    if payload.get("format") == "repro/nemesis-bundle":
+        payload = payload["plan"]
+    try:
+        plan = FaultPlan.from_dict(payload)
+    except (KeyError, ValueError) as error:
+        print(f"error: not a fault plan: {error}", file=sys.stderr)
+        return EXIT_USAGE
+    factory = _nemesis_invariants(args)
+    obs = _ObsSession(args)
+    try:
+        result = run_plan(
+            _nemesis_spec(args),
+            plan,
+            invariants=factory() if factory is not None else None,
+            trace=obs.bus,
+            metrics_registry=obs.registry,
+        )
+    finally:
+        for note in obs.finish():
+            print(note, file=sys.stderr)
+    if result.violation is not None:
+        print(f"violation: {result.violation.describe()}")
+    else:
+        print(
+            f"clean run: certified="
+            f"{bool(result.certification and result.certification.certified)}"
+            f" audit={result.audit_clean} rounds={result.rounds}"
+        )
+    _print_nemesis_coverage(result.coverage)
+    return EXIT_OK if result.clean else EXIT_VIOLATION
+
+
+def _cmd_nemesis_replay(args: argparse.Namespace) -> int:
+    from repro.nemesis import replay_bundle
+    from repro.sim.certify import EXIT_OK, EXIT_VIOLATION
+
+    obs = _ObsSession(args)
+    try:
+        report = replay_bundle(
+            args.bundle,
+            runs=args.runs,
+            invariants=_nemesis_invariants(args),
+            trace=obs.bus,
+            metrics_registry=obs.registry,
+        )
+    finally:
+        for note in obs.finish():
+            print(note, file=sys.stderr)
+    print(report.describe())
+    if report.reproduced:
+        print(f"reproduced: identical violation in {args.runs}/{args.runs} replays")
+        return EXIT_OK
+    print("NOT reproduced", file=sys.stderr)
+    return EXIT_VIOLATION
+
+
 def _cmd_explain(args: argparse.Namespace) -> int:
     records = read_trace(args.trace)
     if args.check:
@@ -1022,6 +1179,150 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_obs_arguments(federation)
     federation.set_defaults(handler=_cmd_federation)
+
+    nemesis = commands.add_parser(
+        "nemesis",
+        help="unified fault simulation: search, run and replay fault plans",
+    )
+    nemesis_commands = nemesis.add_subparsers(
+        dest="nemesis_command", required=True
+    )
+
+    def _add_nemesis_spec_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--shards", type=int, default=2, help="scheduler shards"
+        )
+        sub.add_argument(
+            "--groups",
+            type=int,
+            default=0,
+            help="service groups (default: 2x shards)",
+        )
+        sub.add_argument(
+            "--processes",
+            type=int,
+            default=2,
+            help="processes per service group",
+        )
+        sub.add_argument(
+            "--cross",
+            type=float,
+            default=0.25,
+            help="fraction of processes with a cross-shard footprint",
+        )
+        sub.add_argument(
+            "--conflicts",
+            type=float,
+            default=0.05,
+            help="probability that two services conflict",
+        )
+        sub.add_argument(
+            "--backend",
+            choices=["memory", "sqlite", "procpool"],
+            default="memory",
+            help="subsystem backend under test",
+        )
+        sub.add_argument(
+            "--seed", type=int, default=0, help="workload seed"
+        )
+        sub.add_argument(
+            "--horizon",
+            type=float,
+            default=24.0,
+            help="virtual-time horizon fault actions are drawn from",
+        )
+        sub.add_argument(
+            "--canary",
+            default=None,
+            metavar="FAM1,FAM2",
+            help="arm the canary invariant for these fault families "
+            "(a deterministic fault-injection-of-the-injector fixture)",
+        )
+        sub.add_argument(
+            "--canary-threshold",
+            type=int,
+            default=1,
+            help="faults per family before the canary fires",
+        )
+
+    nemesis_search = nemesis_commands.add_parser(
+        "search",
+        help="explore seeded random fault plans; shrink + bundle on "
+        "violation",
+    )
+    _add_nemesis_spec_arguments(nemesis_search)
+    nemesis_search.add_argument(
+        "--plans", type=int, default=20, help="fault plans to explore"
+    )
+    nemesis_search.add_argument(
+        "--search-seed", type=int, default=0, help="search campaign seed"
+    )
+    nemesis_search.add_argument(
+        "--actions", type=int, default=8, help="fault actions per plan"
+    )
+    nemesis_search.add_argument(
+        "--max-shrink-runs",
+        type=int,
+        default=128,
+        help="replay budget for the delta-debugging shrinker",
+    )
+    nemesis_search.add_argument(
+        "--bundle-dir",
+        default=None,
+        metavar="DIR",
+        help="write a repro bundle here when a violation is found",
+    )
+    nemesis_search.add_argument(
+        "--no-bundle-trace",
+        action="store_true",
+        help="skip the trace/explain artefacts in the bundle",
+    )
+    nemesis_search.add_argument(
+        "--expect-violation",
+        action="store_true",
+        help="invert success: exit 0 only when a violation IS found "
+        "(for canary fixtures in CI)",
+    )
+    nemesis_search.add_argument(
+        "--min-coverage",
+        type=float,
+        default=0.0,
+        help="fail unless fault-site coverage reaches this percentage",
+    )
+    _add_obs_arguments(nemesis_search)
+    nemesis_search.set_defaults(handler=_cmd_nemesis_search)
+
+    nemesis_run = nemesis_commands.add_parser(
+        "run", help="execute one fault plan JSON against the system"
+    )
+    nemesis_run.add_argument(
+        "plan", help="path to a fault-plan JSON (or a bundle.json)"
+    )
+    _add_nemesis_spec_arguments(nemesis_run)
+    _add_obs_arguments(nemesis_run)
+    nemesis_run.set_defaults(handler=_cmd_nemesis_run)
+
+    nemesis_replay = nemesis_commands.add_parser(
+        "replay",
+        help="re-execute a repro bundle; verify the identical violation",
+    )
+    nemesis_replay.add_argument(
+        "bundle", help="bundle directory or bundle.json path"
+    )
+    nemesis_replay.add_argument(
+        "--runs", type=int, default=2, help="number of replays"
+    )
+    nemesis_replay.add_argument(
+        "--canary",
+        default=None,
+        metavar="FAM1,FAM2",
+        help="arm the canary invariant (must match the bundle's search)",
+    )
+    nemesis_replay.add_argument(
+        "--canary-threshold", type=int, default=1, help=argparse.SUPPRESS
+    )
+    _add_obs_arguments(nemesis_replay)
+    nemesis_replay.set_defaults(handler=_cmd_nemesis_replay)
 
     explain = commands.add_parser(
         "explain",

@@ -112,6 +112,7 @@ from repro.errors import (
     ProcessAbortedError,
     SchedulerClosedError,
     SchedulerError,
+    SubsystemError,
     SubsystemUnavailable,
     TransactionAborted,
     UnknownProcessError,
@@ -1659,12 +1660,39 @@ class TransactionalProcessScheduler:
                         "txn": prepared.txn_id,
                     }
                 )
-            managed.prepared.clear()
-            self._begin_abort(
-                managed,
-                reason=f"2PC group vetoed by {group.veto}",
-                cascade=False,
-            )
+            if managed.abort_pending:
+                # The veto rolled back legs of an already-running
+                # completion C(P) (the process was aborting when it
+                # hardened, e.g. the retriable forward path of F-REC).
+                # _begin_abort would no-op on abort_pending, leaving the
+                # instance's stale pending path to skip the rolled-back
+                # activities — silently losing forward work the history
+                # then cannot explain.  Re-plan the completion from the
+                # surviving committed state instead: the rolled-back
+                # (retriable) legs re-execute.  Any leg the coordinator
+                # could not reach (the veto cause) is still prepared and
+                # holds its locks — apply the abort decision to it
+                # directly, or the re-executed activity deadlocks on its
+                # own orphan (presumed abort delivers the same outcome).
+                for prepared in managed.prepared:
+                    try:
+                        prepared.subsystem.rollback_prepared(
+                            prepared.txn_id
+                        )
+                    except SubsystemError:
+                        pass  # leg already resolved by the coordinator
+                managed.prepared.clear()
+                managed.instance.request_abort(
+                    hardened=frozenset(managed.hardened)
+                )
+                self._clear_wait(managed)
+            else:
+                managed.prepared.clear()
+                self._begin_abort(
+                    managed,
+                    reason=f"2PC group vetoed by {group.veto}",
+                    cascade=False,
+                )
             return False
         for prepared in managed.prepared:
             managed.hardened.add(prepared.activity_name)

@@ -174,7 +174,30 @@ class CorrectnessViolation(SchedulerError):
     Raised by the paranoid-mode scheduler when the online protocol and
     the offline checker disagree, and by baseline schedulers that
     deliberately admit incorrect histories when asked to verify them.
+
+    Harnesses raise it through
+    :func:`repro.sim.certify.ensure_certified`, which attaches a typed
+    payload: ``harness`` names the raising harness, ``seed`` its RNG
+    seed, ``verdict`` the offline-checker booleans
+    (``pred``/``reducible``/``terminated``) and ``details`` any
+    harness-specific audit findings.  All fields default empty so
+    message-only construction keeps working.
     """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        harness: str = "",
+        seed: "int | None" = None,
+        verdict: "dict | None" = None,
+        details: "dict | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.harness = harness
+        self.seed = seed
+        self.verdict = dict(verdict) if verdict else {}
+        self.details = dict(details) if details else {}
 
 
 class ProcessAbortedError(SchedulerError):

@@ -394,11 +394,19 @@ class Federation:
 
     # -- submission ----------------------------------------------------
 
-    def submit(self, process: Process) -> Tuple[str, str]:
-        """Route and submit a process; returns ``(shard, instance_id)``."""
+    def submit(self, process: Process, failures=None) -> Tuple[str, str]:
+        """Route and submit a process; returns ``(shard, instance_id)``.
+
+        ``failures`` is an optional
+        :class:`~repro.subsystems.failures.FailurePolicy` threaded to
+        the home shard's scheduler — how the nemesis harness drives
+        planned subsystem faults through a federated run.
+        """
         home = self.router.route(process)
         shard = self.shards[home]
-        pid = shard.scheduler.submit(process, instance_id=process.process_id)
+        pid = shard.scheduler.submit(
+            process, instance_id=process.process_id, failures=failures
+        )
         shard.processes[pid] = process
         self.templates[pid] = process
         self.homes[pid] = home

@@ -120,6 +120,12 @@ class FederationRunner:
         #: ``(time, shard, downtime)`` kill schedule.
         self._kills = list(kills)
         self._partitions = list(partitions)
+        #: Optional per-round observer ``callback(now)`` invoked after
+        #: the message pump and shard steps of every loop iteration —
+        #: the nemesis monitor's hook for online invariant checks and
+        #: state-triggered fault arming.  Exceptions propagate and stop
+        #: the run.
+        self.on_round = None
 
     # -- chaos schedule ------------------------------------------------
 
@@ -460,6 +466,8 @@ class FederationRunner:
             for shard_id in self.fed.shards:
                 if self._step_shard(shard_id, now):
                     progressed = True
+            if self.on_round is not None:
+                self.on_round(now)
             if progressed:
                 continue
             if any(self._flights.values()):

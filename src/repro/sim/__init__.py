@@ -15,11 +15,17 @@ from repro.sim.workload import (
     generate_workload,
 )
 from repro.sim.experiments import DISCIPLINES, grade_history, run_discipline, sweep
-from repro.sim.chaos import (
+from repro.sim.certify import (
+    EXIT_OK,
+    EXIT_USAGE,
+    EXIT_VIOLATION,
     Certification,
+    certify_history,
+    ensure_certified,
+)
+from repro.sim.chaos import (
     ChaosResult,
     ChaosSpec,
-    certify_history,
     chaos_sweep,
     default_mixes,
     run_chaos,

@@ -22,11 +22,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.pred import check_pred
-from repro.core.reduction import reduce_schedule
 from repro.core.scheduler import TransactionalProcessScheduler
-from repro.errors import CorrectnessViolation
 from repro.resilience import BreakerConfig, ResilienceManager, RetryPolicy
+from repro.sim.certify import Certification, certify_history, ensure_certified
 from repro.sim.metrics import RunMetrics
 from repro.sim.runner import SimulationRunner
 from repro.sim.workload import WorkloadSpec, generate_workload
@@ -45,38 +43,8 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
-class Certification:
-    """Offline verdict on one produced history (chaos and crash-point
-    harnesses share it): PRED, reducibility, and termination."""
-
-    pred: bool
-    reducible: bool
-    terminated: bool
-
-    @property
-    def certified(self) -> bool:
-        return self.pred and self.reducible and self.terminated
-
-    def describe(self) -> str:
-        return (
-            f"pred={self.pred} reducible={self.reducible} "
-            f"terminated={self.terminated}"
-        )
-
-
-def certify_history(history, terminated: bool) -> Certification:
-    """Run the offline checkers over a produced history.
-
-    ``terminated`` is the harness's own observation that every submitted
-    process reached a terminal state (guaranteed termination) — the
-    checkers cannot see processes that produced no events.
-    """
-    return Certification(
-        pred=check_pred(history).is_pred,
-        reducible=reduce_schedule(history).is_reducible,
-        terminated=terminated,
-    )
+# ``Certification`` and ``certify_history`` live in
+# :mod:`repro.sim.certify` now; re-exported here for back-compat.
 
 
 @dataclass(frozen=True)
@@ -317,10 +285,12 @@ def run_chaos(
         reducible=verdict.reducible,
         terminated=verdict.terminated,
     )
-    if certify and not result.certified:
-        raise CorrectnessViolation(
-            f"chaos run {spec.name!r} (seed {spec.seed}) failed "
-            f"certification: {verdict.describe()}"
+    if certify:
+        ensure_certified(
+            verdict,
+            harness=f"chaos:{spec.name}",
+            seed=spec.seed,
+            details={"mix": spec.name, "backend": spec.backend},
         )
     return result
 

@@ -45,7 +45,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.scheduler import TransactionalProcessScheduler
 from repro.errors import LogCorruptionError, StoreCorruptionError
-from repro.sim.chaos import Certification, certify_history
+from repro.sim.certify import Certification, certify_history
 from repro.sim.workload import WorkloadSpec, generate_workload
 from repro.subsystems.backend import (
     BACKEND_KINDS,

@@ -23,12 +23,15 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.conflict import ExplicitConflicts
-from repro.errors import CorrectnessViolation
 from repro.fed.federation import Federation
 from repro.fed.messages import FederationNetwork, MessageFaultPolicy
 from repro.fed.router import ShardRouter
 from repro.fed.runner import FederationRunMetrics, FederationRunner
-from repro.sim.chaos import Certification, certify_history
+from repro.sim.certify import (
+    Certification,
+    certify_history,
+    ensure_certified,
+)
 from repro.sim.clock import VirtualClock
 from repro.sim.workload import WorkloadSpec, generate_process
 from repro.subsystems.services import counter_service
@@ -280,13 +283,25 @@ def run_federation(
         groups_checked=audit.groups_checked,
         counters=federation.counters(),
     )
-    if strict and not result.certified:
-        raise CorrectnessViolation(
-            f"federated run (shards={spec.shards}, seed={spec.seed}) failed "
-            f"certification: {certification.describe()} "
-            f"lost={audit.lost_decisions} dup={audit.dup_applications} "
-            f"residue={audit.in_doubt_residue} "
-            f"lost_processes={audit.lost_processes}"
+    if strict:
+        ensure_certified(
+            certification,
+            harness=f"federation:shards={spec.shards}",
+            seed=spec.seed,
+            clean=audit.clean,
+            detail=(
+                f"lost={audit.lost_decisions} "
+                f"dup={audit.dup_applications} "
+                f"residue={audit.in_doubt_residue} "
+                f"lost_processes={audit.lost_processes}"
+            ),
+            details={
+                "shards": spec.shards,
+                "lost_decisions": list(audit.lost_decisions),
+                "dup_applications": list(audit.dup_applications),
+                "in_doubt_residue": list(audit.in_doubt_residue),
+                "lost_processes": list(audit.lost_processes),
+            },
         )
     return result
 

@@ -29,9 +29,12 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.admission import AdmissionConfig, WatchdogConfig
 from repro.core.scheduler import ManagedStatus, TransactionalProcessScheduler
-from repro.errors import CorrectnessViolation
 from repro.resilience import BreakerConfig, ResilienceManager, RetryPolicy
-from repro.sim.chaos import Certification, certify_history
+from repro.sim.certify import (
+    Certification,
+    certify_history,
+    ensure_certified,
+)
 from repro.sim.metrics import RunMetrics, percentile
 from repro.sim.runner import Arrival, SimulationRunner
 from repro.sim.workload import (
@@ -235,11 +238,14 @@ def run_overload(
         frec_sheds=frec_sheds,
         counters=scheduler.resilience.snapshot(),
     )
-    if certify and not result.certified:
-        raise CorrectnessViolation(
-            f"overload run {spec.name!r} (load {spec.offered_load}, seed "
-            f"{spec.seed}) failed certification: {verdict.describe()} "
-            f"frec_sheds={frec_sheds}"
+    if certify:
+        ensure_certified(
+            verdict,
+            harness=f"overload:{spec.name}",
+            seed=spec.seed,
+            clean=frec_sheds == 0,
+            detail=f"frec_sheds={frec_sheds}",
+            details={"load": spec.offered_load, "frec_sheds": frec_sheds},
         )
     return result
 

@@ -94,13 +94,13 @@ class TestChaosSweep:
     def test_certify_raises_on_violation(self, monkeypatch):
         """If the offline checker rejected a history, certify=True must
         raise — the harness is a hard assertion, not a report."""
-        import repro.sim.chaos as chaos_module
+        import repro.sim.certify as certify_module
 
         class Rejected:
             is_pred = False
 
         monkeypatch.setattr(
-            chaos_module, "check_pred", lambda history: Rejected()
+            certify_module, "check_pred", lambda history: Rejected()
         )
         with pytest.raises(CorrectnessViolation):
             run_chaos(small_spec())

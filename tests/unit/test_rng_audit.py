@@ -1,0 +1,89 @@
+"""Seeded-RNG audit: ``src/repro`` never touches module-level random.
+
+Determinism is the foundation the nemesis harness stands on — replaying
+a fault plan must produce the identical execution, so every source of
+randomness has to flow from an explicit ``random.Random(seed)``
+instance.  A single ``random.random()`` (the shared module-level
+generator) silently breaks replay for every consumer.
+
+This test tokenizes every file under ``src/repro`` and fails on any
+attribute access of the form ``random.<name>`` where ``<name>`` is not
+``Random`` (constructing a seeded instance is the one sanctioned use).
+Tokenizing rather than grepping means strings, comments and docstrings
+mentioning ``random.seed`` do not trip the gate, while real call sites
+cannot hide behind formatting.  CI additionally runs a cruder grep
+gate (see .github/workflows/ci.yml) so the invariant holds even if the
+test suite itself is skipped.
+"""
+
+import io
+import os
+import tokenize
+
+SRC_ROOT = os.path.join(
+    os.path.dirname(__file__), os.pardir, os.pardir, "src", "repro"
+)
+
+
+def _module_level_random_uses(path):
+    """Yield ``(line, text)`` for each ``random.<fn>`` attribute access
+    in a source file, excluding ``random.Random``."""
+    with open(path, "rb") as handle:
+        source = handle.read()
+    tokens = list(
+        tokenize.tokenize(io.BytesIO(source).readline)
+    )
+    for index in range(len(tokens) - 2):
+        name, dot, attr = tokens[index : index + 3]
+        if (
+            name.type == tokenize.NAME
+            and name.string == "random"
+            and dot.type == tokenize.OP
+            and dot.string == "."
+            and attr.type == tokenize.NAME
+            and attr.string != "Random"
+        ):
+            # `foo.random.x` is not the random module; skip when the
+            # preceding token is a dot.
+            if index > 0 and tokens[index - 1].string == ".":
+                continue
+            yield name.start[0], f"random.{attr.string}"
+
+
+def _python_files():
+    for dirpath, _dirnames, filenames in os.walk(SRC_ROOT):
+        for filename in sorted(filenames):
+            if filename.endswith(".py"):
+                yield os.path.join(dirpath, filename)
+
+
+class TestSeededRngAudit:
+    def test_src_repro_exists(self):
+        assert os.path.isdir(SRC_ROOT)
+        assert any(True for _ in _python_files())
+
+    def test_no_module_level_random(self):
+        offenders = []
+        for path in _python_files():
+            rel = os.path.relpath(path, SRC_ROOT)
+            for line, use in _module_level_random_uses(path):
+                offenders.append(f"{rel}:{line}: {use}")
+        assert not offenders, (
+            "module-level random usage breaks deterministic replay; "
+            "use an explicit random.Random(seed):\n"
+            + "\n".join(offenders)
+        )
+
+    def test_detector_catches_a_real_offender(self, tmp_path):
+        """The audit itself must be able to fire (meta-test)."""
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "import random\n"
+            "# random.seed in a comment is fine\n"
+            'DOC = "random.choice in a string is fine"\n'
+            "x = random.random()\n"
+            "rng = random.Random(7)\n"
+            "y = rng.random()\n"
+        )
+        uses = list(_module_level_random_uses(str(bad)))
+        assert uses == [(4, "random.random")]
