@@ -64,11 +64,26 @@ Commands
     predecessors.  ``--check`` validates the stream against the event
     schema first.
 
+``top <trace.jsonl>``
+    Replay an exported trace through the bounded-memory ops console:
+    periodic snapshots of throughput, goodput, queue depth, breaker
+    states, per-phase p95 latency and shard health, then the final
+    summary line.
+
+``slow <trace.jsonl> [process]``
+    Commit-latency attribution for one process (default: the slowest):
+    the per-phase critical-path table, the dominant latency phase, and
+    — when the process was mostly *waiting* — the concrete conflicting
+    predecessor it waited on.  Exit 0 when a phase is named, 1 when the
+    trace has nothing to attribute, 2 on a malformed trace.
+
 The run commands (``workload``, ``chaos``, ``overload``,
 ``crashpoints``, ``federation``) all accept ``--trace PATH``
 (structured JSONL trace),
-``--chrome-trace PATH`` (Chrome/Perfetto trace-event JSON) and
-``--metrics PATH`` (Prometheus text format).
+``--chrome-trace PATH`` (Chrome/Perfetto trace-event JSON),
+``--metrics PATH`` (Prometheus text format) and
+``--live-interval T`` (render the live ops console to stderr every
+``T`` units of virtual time while the run streams).
 """
 
 from __future__ import annotations
@@ -101,7 +116,11 @@ from repro.obs import (
     JsonlSink,
     MemorySink,
     MetricsRegistry,
+    OpsConsole,
     TraceBus,
+    TraceEvent,
+    attribution,
+    critical_paths,
     explain_trace,
     read_trace,
     validate_stream,
@@ -134,15 +153,23 @@ class _ObsSession:
         self.trace_path = getattr(args, "trace", None)
         self.chrome_path = getattr(args, "chrome_trace", None)
         self.metrics_path = getattr(args, "metrics", None)
+        self.live_interval = getattr(args, "live_interval", None)
         self.registry = MetricsRegistry() if self.metrics_path else None
         self.bus: Optional[TraceBus] = None
         self._memory: Optional[MemorySink] = None
-        if self.trace_path or self.chrome_path:
+        self.console: Optional[OpsConsole] = None
+        if self.trace_path or self.chrome_path or self.live_interval:
             self.bus = TraceBus()
             if self.trace_path:
                 self.bus.subscribe(JsonlSink(self.trace_path))
             if self.chrome_path:
                 self._memory = self.bus.subscribe(MemorySink())
+            if self.live_interval:
+                self.console = self.bus.subscribe(
+                    OpsConsole(
+                        interval=self.live_interval, out=sys.stderr
+                    )
+                )
 
     @property
     def active(self) -> bool:
@@ -155,6 +182,8 @@ class _ObsSession:
     def finish(self) -> List[str]:
         """Write export files; returns one note per artefact written."""
         notes: List[str] = []
+        if self.console is not None:
+            notes.append(self.console.render())
         if self.bus is not None:
             if self._memory is not None:
                 write_chrome_trace(self.chrome_path, self._memory.records())
@@ -186,6 +215,15 @@ def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
         metavar="PATH",
         default=None,
         help="write Prometheus text-format metrics",
+    )
+    parser.add_argument(
+        "--live-interval",
+        type=float,
+        metavar="T",
+        default=None,
+        help="render the live ops console to stderr every T units of "
+        "virtual time (throughput, goodput, queue depth, breakers, "
+        "per-phase p95, shard health)",
     )
 
 
@@ -845,6 +883,130 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_top(args: argparse.Namespace) -> int:
+    records = read_trace(args.trace)
+    console = OpsConsole(interval=args.interval, out=sys.stdout)
+    for record in records:
+        console.handle(TraceEvent.from_dict(record))
+    print(console.render())
+    return 0
+
+
+def _cmd_slow(args: argparse.Namespace) -> int:
+    records = read_trace(args.trace)
+    paths = critical_paths(records)
+    if not paths:
+        print("no process spans in trace", file=sys.stderr)
+        return 1
+    if args.process is not None:
+        path = paths.get(args.process)
+        if path is None:
+            print(
+                f"no process {args.process!r} in trace "
+                f"({len(paths)} processes recorded)",
+                file=sys.stderr,
+            )
+            return 1
+    else:
+        path = max(paths.values(), key=lambda p: (p.duration, p.process))
+    dominant = path.dominant
+    if dominant is None:
+        print(
+            f"{path.process}: zero-duration span, nothing to attribute",
+            file=sys.stderr,
+        )
+        return 1
+    rows = [
+        {
+            "phase": phase,
+            "time": f"{time:.2f}",
+            "share": f"{time / path.duration:.1%}"
+            if path.duration > 0
+            else "-",
+            "slices": path.counts.get(phase, 0),
+        }
+        for phase, time in sorted(
+            path.phases.items(), key=lambda item: -item[1]
+        )
+    ]
+    print(
+        format_table(
+            rows,
+            columns=["phase", "time", "share", "slices"],
+            title=(
+                f"{path.process}: {path.duration:.2f}t end-to-end "
+                f"[{path.start:.2f}, {path.end:.2f}]"
+            ),
+        )
+    )
+    print(
+        f"\ndominant phase: {dominant} "
+        f"({path.phases[dominant]:.2f}t, "
+        f"{path.phases[dominant] / path.duration:.0%} of end-to-end)"
+    )
+    if dominant in ("queue-wait", "graph-admission"):
+        explanation = explain_trace(records, target=path.process)
+        decision = (
+            explanation.decision if explanation is not None else None
+        )
+        if decision is not None and not decision.waiting_for:
+            # The *last* decision may blame nobody by name (e.g. an
+            # in-flight edge-exchange barrier); fall back to the most
+            # recent deferral that names concrete predecessors.
+            for record in reversed(records):
+                if (
+                    record.get("kind") == "deferred"
+                    and record.get("process") == path.process
+                    and (record.get("data") or {}).get("waiting_for")
+                ):
+                    data = record.get("data") or {}
+                    print(
+                        f"waiting on: "
+                        f"{', '.join(data['waiting_for'])} "
+                        f"(rule {data.get('rule') or '?'}: "
+                        f"{data.get('reason') or ''})"
+                    )
+                    break
+            else:
+                print(
+                    f"waiting on: (no named blocker) "
+                    f"(rule {decision.rule or '?'}: "
+                    f"{decision.reason or ''})"
+                )
+        elif decision is not None:
+            print(
+                f"waiting on: {', '.join(decision.waiting_for)} "
+                f"(rule {decision.rule or '?'}: {decision.reason or ''})"
+            )
+        if explanation is not None:
+            for pair in explanation.conflict_pairs():
+                print(f"  conflicting predecessor: {pair[0]} @ {pair[1]}")
+    if args.fleet:
+        table = attribution(paths)
+        print()
+        print(
+            format_table(
+                [
+                    {
+                        "phase": phase,
+                        "total": f"{row['total']:.2f}",
+                        "share": f"{row['share']:.1%}",
+                        "p50": f"{row['p50']:.2f}",
+                        "p95": f"{row['p95']:.2f}",
+                        "p99": f"{row['p99']:.2f}",
+                        "procs": int(row["processes"]),
+                    }
+                    for phase, row in table.items()
+                ],
+                columns=[
+                    "phase", "total", "share", "p50", "p95", "p99", "procs",
+                ],
+                title=f"fleet attribution ({len(paths)} processes)",
+            )
+        )
+    return 0
+
+
 def _cmd_dot(args: argparse.Namespace) -> int:
     with open(args.file, "r", encoding="utf-8") as handle:
         payload = json.load(handle)
@@ -1343,6 +1505,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="validate the trace against the event schema first",
     )
     explain.set_defaults(handler=_cmd_explain)
+
+    top = commands.add_parser(
+        "top",
+        help="replay a trace through the live ops console",
+    )
+    top.add_argument(
+        "trace", help="path to a JSONL trace (from a --trace run)"
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=5.0,
+        help="virtual-time period between snapshots",
+    )
+    top.set_defaults(handler=_cmd_top)
+
+    slow = commands.add_parser(
+        "slow",
+        help="attribute a process's commit latency to phases",
+    )
+    slow.add_argument(
+        "trace", help="path to a JSONL trace (from a --trace run)"
+    )
+    slow.add_argument(
+        "process",
+        nargs="?",
+        default=None,
+        help="process id (default: the slowest recorded process)",
+    )
+    slow.add_argument(
+        "--fleet",
+        action="store_true",
+        help="also print the fleet-wide per-phase attribution table",
+    )
+    slow.set_defaults(handler=_cmd_slow)
     return parser
 
 

@@ -57,6 +57,7 @@ from repro.core.scheduler import (
 from repro.fed.messages import FederationNetwork
 from repro.fed.router import ShardRouter
 from repro.fed.twopc import CrossShardCoordinator, DecisionLedger, ShardCommitAgent
+from repro.obs.bus import tracing
 from repro.obs.explain import DecisionRecord
 from repro.subsystems.recovery import analyze_wal, recover, scan_wal
 from repro.subsystems.subsystem import Subsystem, SubsystemRegistry
@@ -383,14 +384,17 @@ class Federation:
             )
         elif payload.get("kind") == "terminated":
             entry.terminated = True
-        if self.trace is not None and getattr(self.trace, "enabled", False):
-            self.trace.emit(
-                "edge_exchange",
-                process=pid,
-                src=src,
-                dst=shard.shard_id,
-                kind_=str(payload.get("kind")),
-            )
+        bus = tracing(self.trace)
+        if bus is not None:
+            data = {
+                "src": src,
+                "dst": shard.shard_id,
+                "kind_": str(payload.get("kind")),
+            }
+            ctx = payload.get("_ctx")
+            if ctx is not None:
+                data["cause"] = ctx
+            bus.emit("edge_exchange", process=pid, **data)
 
     # -- submission ----------------------------------------------------
 
@@ -584,8 +588,9 @@ class Federation:
         shard.alive = False
         shard.kills += 1
         self.network.mark_down(shard_id)
-        if self.trace is not None and getattr(self.trace, "enabled", False):
-            self.trace.emit("shard_kill", shard=shard_id)
+        bus = tracing(self.trace)
+        if bus is not None:
+            bus.emit("shard_kill", shard=shard_id)
 
     def recover_shard(self, shard_id: str, now: float) -> None:
         """Restart a killed shard from its WAL.
@@ -687,8 +692,9 @@ class Federation:
         shard.agent = agent
         shard.alive = True
         shard.recoveries += 1
-        if self.trace is not None and getattr(self.trace, "enabled", False):
-            self.trace.emit(
+        bus = tracing(self.trace)
+        if bus is not None:
+            bus.emit(
                 "shard_recovered",
                 shard=shard_id,
                 group_aborted=len(report.group_aborted),
@@ -734,19 +740,21 @@ class Federation:
             detail={"group": group.group_id, "shard": shard.shard_id},
         )
         shard.scheduler.decisions[pid] = record
-        if self.trace is not None and getattr(self.trace, "enabled", False):
-            self.trace.emit(
+        bus = tracing(self.trace)
+        if bus is not None:
+            cause = bus.emit(
                 "xshard_indoubt",
                 process=pid,
                 shard=shard.shard_id,
                 group=group.group_id,
             )
-            self.trace.emit(
+            bus.emit(
                 "deferred",
                 process=pid,
                 rule="fed-in-doubt-hold",
                 reason=record.reason,
                 group=group.group_id,
+                cause=cause,
             )
 
     def _terminate_in_doubt(self, shard: Shard, group, now: float) -> bool:
@@ -784,10 +792,9 @@ class Federation:
                 detail={"group": group.group_id, "via": peer},
             )
             shard.scheduler.decisions[pid] = record
-            if self.trace is not None and getattr(
-                self.trace, "enabled", False
-            ):
-                self.trace.emit(
+            bus = tracing(self.trace)
+            if bus is not None:
+                bus.emit(
                     "deferred",
                     process=pid,
                     rule="fed-termination-protocol",

@@ -22,6 +22,14 @@ delay / duplicate plus explicit named partitions, all deterministic
 given the seed.  Every directed link carries a
 :class:`~repro.resilience.breaker.CircuitBreaker` so repeated failures
 fast-fail (PR 1's breakers reused for inter-shard links).
+
+When a trace bus is attached, every message carries a **trace context**:
+the sender emits ``msg_send`` and stamps its sequence number into the
+payload under ``_ctx``; the delivery emits ``msg_recv`` with
+``cause=<that seq>``.  The pair is the cross-shard happens-before edge
+the span DAG (and the Perfetto flow arrows) hang 2PC vote/decision
+rounds and edge-exchange propagation on.  With tracing disabled the
+payload is never copied for stamping and no context key exists.
 """
 
 from __future__ import annotations
@@ -31,6 +39,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, FrozenSet, List, Optional, Tuple
 
+from repro.obs.bus import tracing
 from repro.resilience.breaker import (
     BreakerConfig,
     BreakerState,
@@ -234,6 +243,13 @@ class FederationNetwork:
     ) -> Optional[Dict[str, Any]]:
         """One synchronous RPC; ``None`` means the peer is unreachable."""
         self.requests_sent += 1
+        bus = tracing(self.trace)
+        op = str(payload.get("op", "")) if bus is not None else ""
+        ctx = (
+            bus.emit("msg_send", channel="rpc", op=op, src=src, dst=dst)
+            if bus is not None
+            else None
+        )
         breaker = self.breaker(src, dst)
         if not self.reachable(src, dst, now):
             self._fault("unreachable", src, dst, payload)
@@ -257,13 +273,34 @@ class FederationNetwork:
         # Delays on the RPC path only add latency bookkeeping — the
         # discrete-event driver charges them to the run, not the caller.
         self.policy.delay()
-        response = handler(dict(payload))
+        message = dict(payload)
+        if ctx is not None:
+            message["_ctx"] = ctx
+            bus.emit(
+                "msg_recv",
+                channel="rpc",
+                op=op,
+                src=src,
+                dst=dst,
+                cause=ctx,
+            )
+        response = handler(message)
         if self.policy.duplicate():
             # The duplicate reaches the same handler again; the first
             # response is the one the caller observes.
             self._fault("duplicate", src, dst, payload)
             self.duplicates_delivered += 1
-            handler(dict(payload))
+            if ctx is not None:
+                bus.emit(
+                    "msg_recv",
+                    channel="rpc",
+                    op=op,
+                    src=src,
+                    dst=dst,
+                    cause=ctx,
+                    duplicate=True,
+                )
+            handler(dict(message))
         breaker.record_success(now)
         return response
 
@@ -274,8 +311,18 @@ class FederationNetwork:
     ) -> None:
         """Queue a message for eventual delivery (never lost)."""
         due = now + self.policy.delay()
+        message = dict(payload)
+        bus = tracing(self.trace)
+        if bus is not None:
+            message["_ctx"] = bus.emit(
+                "msg_send",
+                channel="post",
+                kind_=str(payload.get("kind", "")),
+                src=src,
+                dst=dst,
+            )
         self._pending.append(
-            Envelope(next(self._seq), src, dst, dict(payload), due)
+            Envelope(next(self._seq), src, dst, message, due)
         )
 
     def pending_inbound(self, shard_id: str) -> int:
@@ -306,10 +353,12 @@ class FederationNetwork:
                 continue
             handler = self._inbox.get(env.dst)
             if handler is not None:
+                self._trace_recv(env)
                 handler(env.src, dict(env.payload))
                 if self.policy.duplicate():
                     self._fault("duplicate", env.src, env.dst, env.payload)
                     self.duplicates_delivered += 1
+                    self._trace_recv(env, duplicate=True)
                     handler(env.src, dict(env.payload))
             delivered += 1
             self.posts_delivered += 1
@@ -318,12 +367,29 @@ class FederationNetwork:
 
     # -- instrumentation -----------------------------------------------
 
+    def _trace_recv(self, env: Envelope, duplicate: bool = False) -> None:
+        bus = tracing(self.trace)
+        if bus is None:
+            return
+        data: Dict[str, Any] = {
+            "channel": "post",
+            "kind_": str(env.payload.get("kind", "")),
+            "src": env.src,
+            "dst": env.dst,
+        }
+        ctx = env.payload.get("_ctx")
+        if ctx is not None:
+            data["cause"] = ctx
+        if duplicate:
+            data["duplicate"] = True
+        bus.emit("msg_recv", **data)
+
     def _fault(
         self, kind: str, src: str, dst: str, payload: Dict[str, Any]
     ) -> None:
-        trace = self.trace
-        if trace is not None and getattr(trace, "enabled", False):
-            trace.emit(
+        bus = tracing(self.trace)
+        if bus is not None:
+            bus.emit(
                 "msg_fault",
                 fault=kind,
                 src=src,

@@ -41,6 +41,7 @@ from repro.core.schedule import AbortEvent, ActivityEvent, CommitEvent
 from repro.subsystems.recovery import scan_wal
 from repro.errors import SchedulerError
 from repro.fed.federation import Federation
+from repro.obs.bus import tracing
 from repro.obs.explain import DecisionRecord
 from repro.sim.engine import EventQueue
 from repro.sim.runner import DurationModel, constant_durations
@@ -293,9 +294,9 @@ class FederationRunner:
         scheduler.decisions[pid] = record
         scheduler.stats["deferred"] += 1
         self.metrics.fed_deferrals += 1
-        trace = self.fed.trace
-        if trace is not None and getattr(trace, "enabled", False):
-            trace.emit(
+        bus = tracing(self.fed.trace)
+        if bus is not None:
+            bus.emit(
                 "deferred",
                 process=pid,
                 activity=record.activity,
@@ -365,6 +366,17 @@ class FederationRunner:
                     duration, self._completion(shard_id, flight)
                 )
                 self.metrics.dispatched += 1
+                bus = tracing(self.fed.trace)
+                if bus is not None:
+                    bus.emit(
+                        "exec",
+                        process=event.process_id,
+                        activity=event.activity.activity_name,
+                        service=event.service,
+                        duration=duration,
+                        direction=event.activity.direction.exponent,
+                        shard=shard_id,
+                    )
             elif isinstance(event, (CommitEvent, AbortEvent)):
                 kind = (
                     "commit" if isinstance(event, CommitEvent) else "abort"

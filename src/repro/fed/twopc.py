@@ -34,6 +34,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.fed.messages import FederationNetwork
+from repro.obs.bus import tracing
+from repro.obs.spans import group_process
 from repro.subsystems.subsystem import SubsystemRegistry
 from repro.subsystems.transaction import TransactionState
 from repro.subsystems.twophase import (
@@ -78,8 +80,15 @@ class DecisionLedger:
 
 
 def _trace(bus, kind: str, **data: Any) -> None:
-    if bus is not None and getattr(bus, "enabled", False):
+    bus = tracing(bus)
+    if bus is not None:
         process = data.pop("process", None)
+        if process is None and "group" in data:
+            # Harden groups encode their process id; attributing the
+            # 2PC protocol events to it is what lets the span DAG and
+            # the critical-path analysis charge vote/decision latency
+            # to the right process.
+            process = group_process(str(data["group"]))
         bus.emit(kind, process=process, **data)
 
 

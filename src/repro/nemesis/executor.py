@@ -40,6 +40,7 @@ from repro.nemesis.invariants import (
     default_invariants,
 )
 from repro.nemesis.plan import FaultPlan
+from repro.obs.bus import tracing
 from repro.sim.certify import Certification, certify_history
 from repro.sim.clock import VirtualClock
 from repro.sim.workload import WorkloadSpec, generate_process
@@ -200,6 +201,7 @@ class _Monitor:
         ]
         self._wal_fired: Set[int] = set()
         self.walcrash_kills = 0
+        self.trace = federation.trace
         self._alive = {
             shard_id: True for shard_id in federation.shards
         }
@@ -256,6 +258,14 @@ class _Monitor:
             violation = invariant.check(self)
             if violation is not None:
                 self.violation = violation
+                bus = tracing(self.trace)
+                if bus is not None:
+                    bus.emit(
+                        "nemesis_invariant",
+                        invariant=violation.invariant,
+                        detail=violation.detail,
+                        online=True,
+                    )
                 raise _NemesisHalt()
 
     def _wal_crash_safe(self, now: float, downtime: float) -> bool:
@@ -299,6 +309,15 @@ class _Monitor:
                 continue
             self._wal_fired.add(index)
             self.walcrash_kills += 1
+            bus = tracing(self.trace)
+            if bus is not None:
+                bus.emit(
+                    "nemesis_action",
+                    family="walcrash",
+                    shard=shard_id,
+                    lsn=lsn,
+                    downtime=downtime,
+                )
             self.runner._kill_event(shard_id)()
             self.runner.queue.schedule_at(
                 now + downtime, self.runner._recover_event(shard_id)
@@ -327,6 +346,14 @@ class _Monitor:
             violation = invariant.final(self)
             if violation is not None:
                 self.violation = violation
+                bus = tracing(self.trace)
+                if bus is not None:
+                    bus.emit(
+                        "nemesis_invariant",
+                        invariant=violation.invariant,
+                        detail=violation.detail,
+                        online=False,
+                    )
                 return violation
         return None
 
@@ -480,8 +507,9 @@ def run_plan(
         federation, runner, monitor = _build(
             spec, plan, registry, trace=trace, hub=hub
         )
-        if trace is not None and getattr(trace, "enabled", False):
-            trace.emit(
+        bus = tracing(trace)
+        if bus is not None:
+            bus.emit(
                 "run_begin",
                 harness="nemesis",
                 seed=spec.seed,
@@ -535,8 +563,9 @@ def run_plan(
         violation = monitor.violation
         coverage = _collect_coverage(monitor)
         rounds = monitor.rounds
-        if trace is not None and getattr(trace, "enabled", False):
-            trace.emit(
+        bus = tracing(trace)
+        if bus is not None:
+            bus.emit(
                 "run_end",
                 harness="nemesis",
                 seed=spec.seed,

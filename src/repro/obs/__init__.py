@@ -26,8 +26,18 @@ the WAL and the simulation harnesses one shared observability surface:
     (loadable in Perfetto), Prometheus text files.
 
 ``repro.obs.spans``
-    Span derivation — folds the flat event stream into activity /
-    process lifecycle spans for timeline rendering.
+    Span derivation — folds the flat event stream into a causal span
+    DAG (span ids, parent links, happens-before anchors) for timeline
+    rendering and critical-path analysis.
+
+``repro.obs.critpath``
+    Commit-latency attribution: segments each process's span into
+    exec / 2PC / queue-wait / graph-admission phase slices that
+    reconcile with end-to-end latency by construction.
+
+``repro.obs.console``
+    The bounded-memory live ops console (``repro top``): sliding-window
+    aggregates rendered on virtual-time interval boundaries.
 
 ``repro.obs.replay``
     Trace replay — reconstructs the schedule history and terminal
@@ -41,7 +51,21 @@ the WAL and the simulation harnesses one shared observability surface:
     predecessors from the serialization graph.
 """
 
-from repro.obs.bus import JsonlSink, LoggingSink, MemorySink, TraceBus
+from repro.obs.bus import (
+    JsonlSink,
+    LoggingSink,
+    MemorySink,
+    TraceBus,
+    tracing,
+)
+from repro.obs.console import OpsConsole
+from repro.obs.critpath import (
+    CriticalPath,
+    PhaseSlice,
+    attribution,
+    critical_paths,
+    reconcile,
+)
 from repro.obs.events import (
     EVENT_CATEGORIES,
     TraceEvent,
@@ -56,15 +80,24 @@ from repro.obs.export import (
     write_chrome_trace,
     write_prometheus,
 )
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    WindowedCounter,
+    WindowedHistogram,
+    fleet_snapshot,
+)
 from repro.obs.replay import replay_trace
-from repro.obs.spans import derive_spans
+from repro.obs.spans import Span, derive_spans, group_process
 
 __all__ = [
     "TraceBus",
     "MemorySink",
     "JsonlSink",
     "LoggingSink",
+    "tracing",
     "TraceEvent",
     "EVENT_CATEGORIES",
     "validate_record",
@@ -72,13 +105,24 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "WindowedCounter",
+    "WindowedHistogram",
     "MetricsRegistry",
+    "fleet_snapshot",
     "read_trace",
     "chrome_trace",
     "validate_chrome_trace",
     "write_chrome_trace",
     "write_prometheus",
+    "Span",
     "derive_spans",
+    "group_process",
+    "CriticalPath",
+    "PhaseSlice",
+    "critical_paths",
+    "attribution",
+    "reconcile",
+    "OpsConsole",
     "replay_trace",
     "Explanation",
     "explain_scheduler",

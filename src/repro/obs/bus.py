@@ -11,6 +11,18 @@ sinks.  The contract every instrumented call site follows:
 i.e. *no* event, payload dict or string is constructed unless a sink is
 actually attached — tracing disabled costs one attribute test on the
 hot path (verified by the X12 benchmark).
+
+Call sites holding a *maybe-bus* (an optional, possibly foreign object)
+use :func:`tracing` instead of hand-rolled ``getattr`` guards:
+
+    bus = tracing(self.trace)
+    if bus is not None:
+        bus.emit("shard_kill", shard=shard_id)
+
+:meth:`TraceBus.emit` returns the emitted event's sequence number, which
+doubles as a causal anchor: a later event naming it in ``data["cause"]``
+declares a happens-before edge (the span DAG the critical-path analysis
+and the Perfetto flow arrows are built from).
 """
 
 from __future__ import annotations
@@ -22,7 +34,20 @@ from typing import Any, Callable, Deque, Dict, List, Optional
 
 from repro.obs.events import EVENT_CATEGORIES, TraceEvent
 
-__all__ = ["TraceBus", "MemorySink", "JsonlSink", "LoggingSink"]
+__all__ = ["TraceBus", "MemorySink", "JsonlSink", "LoggingSink", "tracing"]
+
+
+def tracing(trace: Optional[Any]) -> Optional["TraceBus"]:
+    """The bus iff ``trace`` is an enabled trace bus, else ``None``.
+
+    The one guard for every instrumented call site that holds an
+    optional (possibly duck-typed) trace object: emission code runs
+    exactly when ``tracing(trace)`` returns non-``None``, and a bus
+    without sinks costs the same as no bus at all.
+    """
+    if trace is not None and getattr(trace, "enabled", False):
+        return trace
+    return None
 
 
 class TraceBus:
@@ -72,12 +97,17 @@ class TraceBus:
         process: Optional[str] = None,
         activity: Optional[str] = None,
         **data: Any,
-    ) -> None:
-        """Emit one event.  Callers must guard on ``enabled`` first."""
+    ) -> Optional[int]:
+        """Emit one event; returns its ``seq`` (a causal anchor).
+
+        Callers must guard on ``enabled`` first; a disabled bus returns
+        ``None`` without constructing anything.
+        """
         if not self.enabled:
-            return
+            return None
+        seq = self._seq
         event = TraceEvent(
-            self._seq,
+            seq,
             self.now(),
             kind,
             EVENT_CATEGORIES[kind],
@@ -85,24 +115,26 @@ class TraceBus:
             activity,
             data,
         )
-        self._seq += 1
+        self._seq = seq + 1
         for sink in self._sinks:
             sink.handle(event)
+        return seq
 
-    def emit_payload(self, kind: str, payload: Dict[str, Any]) -> None:
-        """Emit from a listener-style payload dict.
+    def emit_payload(self, kind: str, payload: Dict[str, Any]) -> Optional[int]:
+        """Emit from a listener-style payload dict; returns the ``seq``.
 
         Used by the scheduler's ``_notify`` bridge: ``process`` and
         ``activity`` keys become correlation ids, everything else is
         the event payload.  The caller's dict is not mutated.
         """
         if not self.enabled:
-            return
+            return None
         data = dict(payload)
         process = data.pop("process", None)
         activity = data.pop("activity", None)
+        seq = self._seq
         event = TraceEvent(
-            self._seq,
+            seq,
             self.now(),
             kind,
             EVENT_CATEGORIES[kind],
@@ -110,9 +142,10 @@ class TraceBus:
             activity,
             data,
         )
-        self._seq += 1
+        self._seq = seq + 1
         for sink in self._sinks:
             sink.handle(event)
+        return seq
 
     def close(self) -> None:
         """Close all sinks (flushes file-backed ones)."""

@@ -1,0 +1,195 @@
+"""A bounded-memory live operations console over the trace bus.
+
+:class:`OpsConsole` subscribes to a :class:`~repro.obs.bus.TraceBus`
+like any sink and renders a periodic snapshot of the run — throughput,
+goodput, admission-queue depth, circuit-breaker states, per-phase p95
+latency and shard health — on virtual-time interval boundaries.
+
+Memory is O(live processes + services + shards + windows), never
+O(events): aggregates live in sliding-window counters/histograms
+(:mod:`repro.obs.metrics`) and the only per-process state kept is for
+*live* processes, dropped the moment they terminate.  A 100k-arrival
+soak streams through flat (benchmark X16 gates this).
+
+The console renders to any writable stream (the CLI passes stderr so
+machine-readable stdout stays clean).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Set, TextIO
+
+from repro.obs.metrics import WindowedCounter, WindowedHistogram
+
+__all__ = ["OpsConsole"]
+
+
+class OpsConsole:
+    """Trace-bus sink that keeps a bounded live view and renders it.
+
+    ``interval`` is the virtual-time period between renders (and the
+    width of each metric window); ``windows`` is how many periods the
+    sliding aggregates remember.  Pass ``out=None`` to aggregate
+    without printing (``snapshot``/``render`` still work — the mode
+    the unit tests and ``repro top``'s final summary use).
+    """
+
+    def __init__(
+        self,
+        interval: float = 5.0,
+        windows: int = 12,
+        out: Optional[TextIO] = None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("render interval must be positive")
+        self.interval = interval
+        self.out = out
+        self.now = 0.0
+        self.renders = 0
+        self._next_render: Optional[float] = None
+        # -- sliding aggregates (O(windows) each) ----------------------
+        self._committed = WindowedCounter(
+            "committed", width=interval, windows=windows
+        )
+        self._aborted = WindowedCounter(
+            "aborted", width=interval, windows=windows
+        )
+        self._dispatched = WindowedCounter(
+            "dispatched", width=interval, windows=windows
+        )
+        self._exec_ms = WindowedHistogram(
+            "exec", width=interval, windows=windows
+        )
+        self._wait_ms = WindowedHistogram(
+            "queue_wait", width=interval, windows=windows
+        )
+        self._sojourn_ms = WindowedHistogram(
+            "sojourn", width=interval, windows=windows
+        )
+        # -- bounded live state ----------------------------------------
+        #: live process -> first-seen timestamp (dropped at terminated).
+        self._live: Dict[str, float] = {}
+        #: processes currently parked in the admission queue.
+        self._queued: Dict[str, float] = {}
+        #: service -> breaker state (open / half-open / closed).
+        self._breakers: Dict[str, str] = {}
+        #: shard -> alive?
+        self._shards: Dict[str, bool] = {}
+
+    # -- sink protocol -------------------------------------------------
+
+    def handle(self, event: Any) -> None:
+        ts = float(event.ts)
+        self.now = max(self.now, ts)
+        kind = event.kind
+        process = event.process
+        data = event.data or {}
+
+        if process and kind in (
+            "submitted",
+            "offered",
+            "queued",
+            "admitted",
+            "exec",
+        ):
+            self._live.setdefault(process, ts)
+
+        if kind == "queued" and process:
+            self._queued[process] = ts
+        elif kind in ("admitted", "rejected", "shed") and process:
+            queued_at = self._queued.pop(process, None)
+            if kind == "admitted" and queued_at is not None:
+                self._wait_ms.observe(ts, ts - queued_at)
+        elif kind == "exec":
+            self._dispatched.inc(ts)
+            self._exec_ms.observe(ts, float(data.get("duration") or 0.0))
+        elif kind == "terminated" and process:
+            started = self._live.pop(process, None)
+            self._queued.pop(process, None)
+            if started is not None:
+                self._sojourn_ms.observe(ts, ts - started)
+            if data.get("status") == "committed":
+                self._committed.inc(ts)
+            else:
+                self._aborted.inc(ts)
+        elif kind in ("breaker_open", "breaker_half_open", "breaker_closed"):
+            service = str(data.get("service") or data.get("link") or "?")
+            self._breakers[service] = kind.replace("breaker_", "")
+        elif kind == "shard_kill":
+            self._shards[str(data.get("shard"))] = False
+        elif kind == "shard_recovered":
+            self._shards[str(data.get("shard"))] = True
+        elif kind == "run_begin":
+            # A fresh run on a reused bus: reset the live view (the
+            # windowed aggregates roll off on their own).
+            self._live.clear()
+            self._queued.clear()
+
+        if self._next_render is None:
+            self._next_render = (ts // self.interval + 1) * self.interval
+        elif ts >= self._next_render:
+            self._render_now(ts)
+            while self._next_render <= ts:
+                self._next_render += self.interval
+
+    # -- views ----------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The live view as a flat dict (what ``render`` prints)."""
+        horizon = self._committed.windows * self.interval
+        committed = self._committed.total(self.now)
+        aborted = self._aborted.total(self.now)
+        return {
+            "now": self.now,
+            "throughput": self._dispatched.total(self.now) / horizon,
+            "goodput": committed / horizon,
+            "committed": committed,
+            "aborted": aborted,
+            "committed_lifetime": self._committed.lifetime,
+            "aborted_lifetime": self._aborted.lifetime,
+            "live": len(self._live),
+            "queue_depth": len(self._queued),
+            "exec_p95": self._exec_ms.summary(self.now)["p95"],
+            "wait_p95": self._wait_ms.summary(self.now)["p95"],
+            "sojourn_p95": self._sojourn_ms.summary(self.now)["p95"],
+            "breakers_open": sorted(
+                service
+                for service, state in self._breakers.items()
+                if state != "closed"
+            ),
+            "shards_down": sorted(
+                shard
+                for shard, alive in self._shards.items()
+                if not alive
+            ),
+        }
+
+    def render(self) -> str:
+        """One snapshot as the text block the live mode prints."""
+        view = self.snapshot()
+        breakers = (
+            ",".join(view["breakers_open"]) if view["breakers_open"] else "-"
+        )
+        shards = (
+            "down:" + ",".join(view["shards_down"])
+            if view["shards_down"]
+            else "all up"
+        )
+        return (
+            f"[t={view['now']:9.2f}] "
+            f"thru={view['throughput']:6.2f}/s "
+            f"good={view['goodput']:6.2f}/s "
+            f"live={view['live']:4d} "
+            f"queue={view['queue_depth']:4d} "
+            f"p95 exec={view['exec_p95']:.2f} "
+            f"wait={view['wait_p95']:.2f} "
+            f"sojourn={view['sojourn_p95']:.2f} "
+            f"breakers={breakers} "
+            f"shards={shards}"
+        )
+
+    def _render_now(self, ts: float) -> None:
+        self.renders += 1
+        if self.out is not None:
+            self.out.write(self.render() + "\n")
+            self.out.flush()

@@ -78,10 +78,24 @@ EVENT_CATEGORIES: Dict[str, str] = {
     "xshard_end": "fed",  # cross-shard group fully acknowledged
     "xshard_indoubt": "fed",  # participant holding an in-doubt vote
     "xshard_resolved": "fed",  # termination protocol resolved an in-doubt group
+    "msg_send": "fed",  # inter-shard message handed to the fabric (causal anchor)
+    "msg_recv": "fed",  # inter-shard message delivered (data["cause"] = send seq)
+    # -- nemesis harness (category "nemesis") --------------------------
+    "nemesis_action": "nemesis",  # a planned fault action fired
+    "nemesis_invariant": "nemesis",  # an online/final invariant fired
 }
 
 #: All categories, in display order.
-CATEGORIES = ("sched", "admission", "resilience", "wal", "chaos", "sim", "fed")
+CATEGORIES = (
+    "sched",
+    "admission",
+    "resilience",
+    "wal",
+    "chaos",
+    "sim",
+    "fed",
+    "nemesis",
+)
 
 
 class TraceEvent:

@@ -138,7 +138,68 @@ def chrome_trace(records: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
             }
         )
 
+    events.extend(_flow_events(records, pids))
     return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def _flow_events(
+    records: List[Dict[str, Any]],
+    pids: Dict[Optional[str], int],
+) -> List[Dict[str, Any]]:
+    """Perfetto flow arrows for cross-shard message causality.
+
+    Every ``msg_send`` opens a flow (``ph: "s"``) keyed by its bus
+    ``seq``; each ``msg_recv`` whose ``data.cause`` names that seq
+    closes it (``ph: "f"``, ``bp: "e"``).  A send without a matching
+    recv draws no arrow — the message was genuinely lost.  Arrows
+    anchor on the scheduler track (pid 0) because the message fabric
+    is not process-scoped.
+    """
+    sends: Dict[int, Dict[str, Any]] = {}
+    flows: List[Dict[str, Any]] = []
+    for record in records:
+        kind = record.get("kind")
+        if kind == "msg_send":
+            seq = record.get("seq")
+            if isinstance(seq, int):
+                sends[seq] = record
+        elif kind == "msg_recv":
+            data_recv = record.get("data") or {}
+            if data_recv.get("duplicate"):
+                continue  # one arrow per logical delivery
+            cause = data_recv.get("cause")
+            send = sends.pop(cause, None) if isinstance(cause, int) else None
+            if send is None:
+                continue
+            data = send.get("data") or {}
+            name = f"msg {data.get('op') or data.get('kind_') or '?'}"
+            pid = pids.get(send.get("process"), 0)
+            flows.append(
+                {
+                    "name": name,
+                    "cat": "fed",
+                    "ph": "s",
+                    "id": cause,
+                    "ts": float(send.get("ts") or 0.0) * _US_PER_UNIT,
+                    "pid": pid,
+                    "tid": _TID_LIFECYCLE,
+                    "args": {"src": data.get("src"), "dst": data.get("dst")},
+                }
+            )
+            flows.append(
+                {
+                    "name": name,
+                    "cat": "fed",
+                    "ph": "f",
+                    "bp": "e",
+                    "id": cause,
+                    "ts": float(record.get("ts") or 0.0) * _US_PER_UNIT,
+                    "pid": pids.get(record.get("process"), 0),
+                    "tid": _TID_LIFECYCLE,
+                    "args": {},
+                }
+            )
+    return flows
 
 
 def write_chrome_trace(path: str, records: Iterable[Dict[str, Any]]) -> None:

@@ -398,3 +398,58 @@ class TestExplainCommand:
         rc = main(["explain", "/nonexistent/trace.jsonl"])
         assert rc == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestTopAndSlow:
+    @pytest.fixture
+    def traced_run(self, tmp_path):
+        trace = str(tmp_path / "run.jsonl")
+        code = main(
+            [
+                "workload",
+                "--processes",
+                "4",
+                "--conflicts",
+                "0.3",
+                "--seed",
+                "3",
+                "--trace",
+                trace,
+            ]
+        )
+        assert code == 0
+        return trace
+
+    def test_top_replays_a_trace(self, traced_run, capsys):
+        assert main(["top", traced_run, "--interval", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "thru=" in out and "p95" in out
+
+    def test_slow_names_a_dominant_phase(self, traced_run, capsys):
+        assert main(["slow", traced_run, "--fleet"]) == 0
+        out = capsys.readouterr().out
+        assert "dominant phase:" in out
+        assert "fleet attribution" in out
+
+    def test_slow_unknown_process_exits_one(self, traced_run, capsys):
+        assert main(["slow", traced_run, "NO-SUCH-PROCESS"]) == 1
+
+    def test_slow_malformed_trace_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n", encoding="utf-8")
+        assert main(["slow", str(bad)]) == 2
+
+    def test_live_interval_renders_to_stderr(self, tmp_path, capsys):
+        code = main(
+            [
+                "workload",
+                "--processes",
+                "4",
+                "--seed",
+                "3",
+                "--live-interval",
+                "2",
+            ]
+        )
+        assert code == 0
+        assert "thru=" in capsys.readouterr().err

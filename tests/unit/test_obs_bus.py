@@ -140,3 +140,42 @@ class TestTraceEventRoundtrip:
         assert clone.kind == "deferred" and clone.cat == "sched"
         assert clone.process == "P1" and clone.activity == "a1"
         assert clone.data == {"k": 1}
+
+
+class TestCausalAnchors:
+    def test_emit_returns_the_event_seq(self):
+        bus = TraceBus()
+        sink = bus.subscribe(MemorySink())
+        first = bus.emit("submitted", process="P1")
+        second = bus.emit("activity", process="P1", activity="a1")
+        assert (first, second) == (0, 1)
+        assert [r["seq"] for r in sink.records()] == [0, 1]
+
+    def test_disabled_emit_returns_none(self):
+        bus = TraceBus()
+        assert bus.emit("submitted", process="P1") is None
+
+    def test_cause_chains_survive_export(self):
+        bus = TraceBus()
+        sink = bus.subscribe(MemorySink())
+        anchor = bus.emit("msg_send", channel="rpc", op="prepare")
+        bus.emit("msg_recv", channel="rpc", op="prepare", cause=anchor)
+        records = sink.records()
+        assert records[1]["data"]["cause"] == records[0]["seq"]
+        assert validate_stream(records) == []
+
+
+class TestTracingHelper:
+    def test_none_and_disabled_yield_none(self):
+        from repro.obs import tracing
+
+        assert tracing(None) is None
+        assert tracing(TraceBus()) is None  # no sinks -> disabled
+        assert tracing(object()) is None  # foreign object, no .enabled
+
+    def test_enabled_bus_passes_through(self):
+        from repro.obs import tracing
+
+        bus = TraceBus()
+        bus.subscribe(MemorySink())
+        assert tracing(bus) is bus

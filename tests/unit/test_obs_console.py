@@ -1,0 +1,95 @@
+"""Unit tests for the bounded-memory ops console (`repro.obs.console`)."""
+
+import io
+
+import pytest
+
+from repro.obs import OpsConsole, TraceBus
+
+
+class Clock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+
+def _bus(console):
+    clock = Clock()
+    bus = TraceBus(clock=clock)
+    bus.subscribe(console)
+    return bus, clock
+
+
+class TestLiveView:
+    def test_renders_on_interval_boundaries(self):
+        out = io.StringIO()
+        console = OpsConsole(interval=2.0, out=out)
+        bus, clock = _bus(console)
+        bus.emit("submitted", process="P1")
+        clock.now = 2.5
+        bus.emit("exec", process="P1", activity="a1", duration=1.0)
+        clock.now = 6.1
+        bus.emit("terminated", process="P1", status="committed")
+        assert console.renders == 2  # crossed t=2 and t=6 boundaries
+        assert len(out.getvalue().splitlines()) == 2
+
+    def test_snapshot_tracks_queue_and_outcomes(self):
+        console = OpsConsole(interval=5.0)
+        bus, clock = _bus(console)
+        bus.emit("queued", process="P1")
+        bus.emit("queued", process="P2")
+        assert console.snapshot()["queue_depth"] == 2
+        clock.now = 1.0
+        bus.emit("admitted", process="P1")
+        clock.now = 3.0
+        bus.emit("terminated", process="P1", status="committed")
+        bus.emit("terminated", process="P2", status="aborted")
+        view = console.snapshot()
+        assert view["queue_depth"] == 0
+        assert view["committed"] == 1 and view["aborted"] == 1
+        assert view["live"] == 0
+        assert view["wait_p95"] == pytest.approx(1.0)
+
+    def test_breaker_and_shard_health(self):
+        console = OpsConsole(interval=5.0)
+        bus, clock = _bus(console)
+        bus.emit("breaker_open", service="s1")
+        bus.emit("shard_kill", shard="s0")
+        view = console.snapshot()
+        assert view["breakers_open"] == ["s1"]
+        assert view["shards_down"] == ["s0"]
+        bus.emit("breaker_closed", service="s1")
+        bus.emit("shard_recovered", shard="s0")
+        view = console.snapshot()
+        assert view["breakers_open"] == []
+        assert view["shards_down"] == []
+        assert "all up" in console.render()
+
+
+class TestBoundedMemory:
+    def test_live_state_drops_at_termination(self):
+        console = OpsConsole(interval=10.0)
+        bus, clock = _bus(console)
+        for index in range(500):
+            pid = f"P{index}"
+            clock.now = float(index)
+            bus.emit("submitted", process=pid)
+            bus.emit(
+                "exec", process=pid, activity="a1", duration=0.5
+            )
+            bus.emit("terminated", process=pid, status="committed")
+        assert len(console._live) == 0
+        assert len(console._queued) == 0
+
+    def test_windowed_aggregates_roll_off(self):
+        console = OpsConsole(interval=1.0, windows=4)
+        bus, clock = _bus(console)
+        for index in range(100):
+            pid = f"P{index}"
+            clock.now = float(index)
+            bus.emit("submitted", process=pid)
+            bus.emit("terminated", process=pid, status="committed")
+        view = console.snapshot()
+        # only the last `windows` seconds of commits remain in view...
+        assert view["committed"] <= 4
+        # ...while the lifetime total still counts everything
+        assert view["committed_lifetime"] == 100

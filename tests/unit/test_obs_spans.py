@@ -1,0 +1,126 @@
+"""Unit tests for the causal span DAG (`repro.obs.spans`)."""
+
+from repro.obs import Span, derive_spans, group_process
+
+
+def _ev(seq, ts, kind, process=None, activity=None, **data):
+    return {
+        "seq": seq,
+        "ts": ts,
+        "kind": kind,
+        "cat": "sched",
+        "process": process,
+        "activity": activity,
+        "data": data,
+    }
+
+
+class TestGroupProcess:
+    def test_cross_shard_harden_group(self):
+        assert group_process("harden:P3-1#2") == "P3-1"
+
+    def test_local_harden_group(self):
+        assert group_process("harden:P7") == "P7"
+
+    def test_anonymous_groups(self):
+        assert group_process("txn:42") is None
+        assert group_process("harden:") is None
+
+
+class TestEdgeCases:
+    def test_empty_stream_yields_no_spans(self):
+        assert derive_spans([]) == []
+
+    def test_queued_only_stream_yields_zero_length_wait(self):
+        spans = derive_spans([_ev(0, 4.0, "queued", process="P1")])
+        waits = [s for s in spans if s.phase == "queue-wait"]
+        assert len(waits) == 1
+        assert waits[0].start == waits[0].end == 4.0
+        assert waits[0].duration == 0.0
+        assert waits[0].cause == 0
+
+    def test_truncated_wait_closes_at_last_ts(self):
+        spans = derive_spans(
+            [
+                _ev(0, 1.0, "queued", process="P1"),
+                _ev(1, 6.0, "activity", process="P2", activity="b1"),
+            ]
+        )
+        waits = [s for s in spans if s.phase == "queue-wait"]
+        assert waits[0].start == 1.0 and waits[0].end == 6.0
+
+
+class TestSpanDag:
+    def test_children_point_at_their_process_span(self):
+        spans = derive_spans(
+            [
+                _ev(0, 0.0, "submitted", process="P1"),
+                _ev(1, 0.0, "exec", process="P1", activity="a1",
+                    service="s1", duration=2.0),
+                _ev(2, 3.0, "terminated", process="P1",
+                    status="committed"),
+            ]
+        )
+        by_phase = {s.phase: s for s in spans}
+        root = by_phase["process"]
+        child = by_phase["exec"]
+        assert root.span_id >= 0 and root.parent is None
+        assert child.parent == root.span_id
+        assert child.cause == 1  # the exec event's bus seq
+
+    def test_span_ids_are_dense_and_sorted(self):
+        spans = derive_spans(
+            [
+                _ev(0, 0.0, "queued", process="P1"),
+                _ev(1, 1.0, "admitted", process="P1"),
+                _ev(2, 1.0, "exec", process="P1", activity="a1",
+                    service="s1", duration=1.0),
+                _ev(3, 2.5, "terminated", process="P1",
+                    status="committed"),
+            ]
+        )
+        assert [s.span_id for s in spans] == list(range(len(spans)))
+        assert spans == sorted(
+            spans, key=lambda s: (s.start, s.end, s.name)
+        )
+
+
+class TestTwoPhaseCommitSpans:
+    def test_vote_and_persist_spans_attributed_to_the_process(self):
+        spans = derive_spans(
+            [
+                _ev(0, 0.0, "submitted", process="P2"),
+                _ev(1, 4.0, "xshard_begin", group="harden:P2#1",
+                    shard="s0"),
+                _ev(2, 5.0, "xshard_decision", group="harden:P2#1",
+                    shard="s0", commit=True),
+                _ev(3, 6.5, "xshard_end", group="harden:P2#1",
+                    shard="s0"),
+                _ev(4, 7.0, "terminated", process="P2",
+                    status="committed"),
+            ]
+        )
+        vote = next(s for s in spans if s.phase == "2pc-vote")
+        persist = next(s for s in spans if s.phase == "decision-persist")
+        assert vote.process == "P2" and persist.process == "P2"
+        assert (vote.start, vote.end) == (4.0, 5.0)
+        assert (persist.start, persist.end) == (5.0, 6.5)
+        assert persist.args["commit"] is True
+        assert vote.shard == "s0"
+        assert vote.cause == 1 and persist.cause == 2
+
+    def test_truncated_vote_closes_at_last_ts(self):
+        spans = derive_spans(
+            [
+                _ev(0, 2.0, "xshard_begin", group="harden:P9#1"),
+                _ev(1, 5.0, "activity", process="P1", activity="a1"),
+            ]
+        )
+        vote = next(s for s in spans if s.phase == "2pc-vote")
+        assert (vote.start, vote.end) == (2.0, 5.0)
+
+
+class TestSpanDataclass:
+    def test_duration_clamps_negative(self):
+        span = Span("x", "sched", "P1", 5.0, 4.0)
+        assert span.duration == 0.0
